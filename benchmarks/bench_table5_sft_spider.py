@@ -1,0 +1,81 @@
+"""Table 5: supervised fine-tuning on Spider-like dev (EX% and TS%).
+
+SFT CodeS tiers vs fine-tuning-based and prompting-based baselines.
+Reproduced shape: SFT CodeS-7B/15B reach the top of the table,
+mid-size CodeS already beats the GPT-4 prompting methods, and the
+fine-tuned general-purpose LMs (Llama-2) trail the same-size CodeS.
+"""
+
+from repro.baselines import make_baseline
+from repro.baselines.registry import evaluate_baseline
+from repro.config import CODES_TIERS
+from repro.eval.harness import evaluate_parser
+
+FINETUNED_BASELINES = (
+    "t5-3b-picard",
+    "resdsql-3b-natsql",
+    "graphix-t5-3b",
+    "sql-palm-finetuned",
+    "sft-llama2-7b",
+    "sft-llama2-13b",
+)
+PROMPTING_BASELINES = (
+    "gpt-4-fewshot",
+    "c3-chatgpt",
+    "din-sql-gpt-4",
+    "dail-sql-gpt-4",
+    "sql-palm-fewshot",
+    "codex",
+)
+
+
+def test_table5_sft_spider(benchmark, spider, parsers, report):
+    suites = {}
+
+    def run():
+        rows = []
+        for name in FINETUNED_BASELINES + PROMPTING_BASELINES:
+            spec = make_baseline(name)
+            result = evaluate_baseline(
+                spec, spider, compute_ts=True, ts_variants=2, suites=suites
+            )
+            rows.append(
+                {
+                    "method": name,
+                    "kind": "fine-tuned" if name in FINETUNED_BASELINES else "prompting",
+                    "EX%": round(100 * result.ex, 1),
+                    "TS%": round(100 * result.ts, 1),
+                }
+            )
+        for tier in CODES_TIERS:
+            result = evaluate_parser(
+                parsers.sft(tier, spider), spider,
+                compute_ts=True, ts_variants=2, suites=suites,
+            )
+            rows.append(
+                {
+                    "method": f"SFT {tier}",
+                    "kind": "ours",
+                    "EX%": round(100 * result.ex, 1),
+                    "TS%": round(100 * result.ts, 1),
+                }
+            )
+        rows.sort(key=lambda row: row["EX%"])
+        report("table5_sft_spider", rows, "Table 5 — SFT evaluation on Spider dev")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_method = {row["method"]: row for row in rows}
+    ours_best = max(
+        by_method[f"SFT {tier}"]["EX%"] for tier in CODES_TIERS
+    )
+    # New SOTA: the best CodeS tier tops every baseline.
+    assert all(
+        ours_best >= row["EX%"] for row in rows if row["kind"] != "ours"
+    )
+    # Mid-size CodeS already matches the GPT-4 prompting methods.
+    assert (
+        by_method["SFT codes-3b"]["EX%"] >= by_method["din-sql-gpt-4"]["EX%"] - 2.5
+    )
+    # TS is never above EX (it is the stricter metric).
+    assert all(row["TS%"] <= row["EX%"] + 1e-9 for row in rows)

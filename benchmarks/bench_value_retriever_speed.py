@@ -1,0 +1,70 @@
+"""Section 6.2: coarse-to-fine value retrieval vs exhaustive LCS.
+
+The paper's complexity argument: running the O(f*u) LCS against every
+stored value is too slow for value-rich databases, so a BM25 index
+first narrows the candidate set.  This benchmark measures both paths on
+a value-rich database and checks they agree on the top match.
+"""
+
+import pytest
+
+from repro.datasets.blueprints import blueprint_by_name
+from repro.datasets.generator import GenerationOptions, instantiate_blueprint
+from repro.retrieval import ValueRetriever
+
+QUESTION = "How many customers from Jesenik bought products of brand quartz?"
+
+
+@pytest.fixture(scope="module")
+def big_retriever():
+    gdb = instantiate_blueprint(
+        blueprint_by_name("retail"), "speed_test",
+        GenerationOptions(rows_per_table=900, seed=0),
+    )
+    return ValueRetriever(gdb.database)
+
+
+def test_coarse_to_fine_retrieval_speed(benchmark, big_retriever):
+    matches = benchmark(big_retriever.retrieve, QUESTION)
+    assert any(match.value.strip() == "Jesenik" for match in matches)
+
+
+def test_exhaustive_lcs_speed(benchmark, big_retriever):
+    matches = benchmark.pedantic(
+        big_retriever.retrieve_exhaustive, args=(QUESTION,), rounds=3, iterations=1
+    )
+    assert any(match.value.strip() == "Jesenik" for match in matches)
+
+
+def test_both_paths_agree_and_coarse_is_faster(benchmark, big_retriever, report):
+    import time
+
+    def measure():
+        start = time.perf_counter()
+        coarse = big_retriever.retrieve(QUESTION)
+        coarse_time = time.perf_counter() - start
+        start = time.perf_counter()
+        exhaustive = big_retriever.retrieve_exhaustive(QUESTION)
+        exhaustive_time = time.perf_counter() - start
+        return coarse, coarse_time, exhaustive, exhaustive_time
+
+    coarse, coarse_time, exhaustive, exhaustive_time = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "path": "BM25 -> LCS (coarse-to-fine)",
+            "indexed values": big_retriever.indexed_value_count,
+            "latency ms": round(1000 * coarse_time, 2),
+            "top match": coarse[0].render() if coarse else "-",
+        },
+        {
+            "path": "exhaustive LCS",
+            "indexed values": big_retriever.indexed_value_count,
+            "latency ms": round(1000 * exhaustive_time, 2),
+            "top match": exhaustive[0].render() if exhaustive else "-",
+        },
+    ]
+    report("value_retriever_speed", rows, "§6.2 — value retrieval latency")
+    assert coarse[0].value == exhaustive[0].value
+    assert coarse_time < exhaustive_time

@@ -1,0 +1,75 @@
+"""Incremental pre-training demo (paper §5) with the numpy transformer.
+
+Two parts:
+
+1. the fast n-gram prior: a StarCoder-style base mix is incrementally
+   pre-trained on the SQL-centric corpus (2 epochs SQL, 1 NL,
+   1 NL-to-code) and its held-out SQL perplexity drops;
+2. the from-scratch decoder-only transformer (multi-query attention,
+   learned absolute position embeddings, AdamW + cosine decay) is
+   trained on a small SQL corpus and its perplexity improves too.
+
+Run with::
+
+    python examples/pretrain_lm.py
+"""
+
+from repro.lm import (
+    CodeTokenizer,
+    CorpusConfig,
+    IncrementalPretrainer,
+    TransformerConfig,
+    TransformerLM,
+    Vocabulary,
+    build_corpus,
+    pretrain_base_lm,
+)
+from repro.lm.corpus import sql_corpus
+
+
+def ngram_demo() -> None:
+    print("=== n-gram prior: incremental pre-training (paper recipe) ===")
+    corpus = build_corpus(CorpusConfig(seed=0))
+    held_out = sql_corpus(150, seed=999)
+
+    base = pretrain_base_lm("starcoder", corpus=corpus)
+    before = base.perplexity(held_out)
+    print(f"StarCoder-style base mix: held-out SQL perplexity = {before:.1f}")
+    print(f"  SQL documents absorbed: {len(base.seen_sql)}")
+
+    codes = IncrementalPretrainer(corpus=corpus).run(base)
+    after = codes.perplexity(held_out)
+    print(f"After incremental pre-training: perplexity = {after:.1f}")
+    print(f"  SQL documents absorbed: {len(codes.seen_sql)}")
+    print(f"  -> {100 * (before - after) / before:.1f}% relative improvement\n")
+
+
+def transformer_demo() -> None:
+    print("=== decoder-only transformer (multi-query attention) ===")
+    train_docs = sql_corpus(60, seed=1)
+    held_docs = sql_corpus(20, seed=2)
+    vocab = Vocabulary.build(train_docs + held_docs, max_size=512)
+    tokenizer = CodeTokenizer()
+    encode = lambda doc: vocab.encode(tokenizer.tokenize(doc))
+
+    config = TransformerConfig(
+        vocab_size=len(vocab), dim=32, n_heads=4, n_layers=2, max_len=48
+    )
+    model = TransformerLM(config, seed=0)
+    print(f"parameters: {config.parameter_count:,}")
+
+    train_seqs = [encode(doc) for doc in train_docs]
+    held_seqs = [encode(doc) for doc in held_docs]
+    print(f"perplexity before training: {model.perplexity(held_seqs, vocab):.1f}")
+    history = model.fit(train_seqs, vocab, epochs=8, batch_size=8, lr=5e-3)
+    print(f"training loss: {history[0]:.3f} -> {history[-1]:.3f}")
+    print(f"perplexity after training:  {model.perplexity(held_seqs, vocab):.1f}")
+
+    prefix = vocab.encode(tokenizer.tokenize("SELECT"), add_markers=False)
+    generated = model.generate([vocab.bos_id, *prefix], vocab, max_new_tokens=12)
+    print("greedy sample:", " ".join(vocab.decode(generated)))
+
+
+if __name__ == "__main__":
+    ngram_demo()
+    transformer_demo()

@@ -1,0 +1,76 @@
+"""repro — an offline reproduction of *CodeS: Towards Building
+Open-source Language Models for Text-to-SQL* (SIGMOD 2024).
+
+Quickstart::
+
+    from repro import CodeSParser, build_spider, evaluate_parser, pair_samples
+
+    spider = build_spider()
+    parser = CodeSParser("codes-7b")
+    parser.fit(pair_samples(spider))
+    result = evaluate_parser(parser, spider)
+    print(result.as_row())
+
+See DESIGN.md for the system inventory and the substitutions made for
+offline execution, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.config import CODES_TIERS, MODEL_REGISTRY, ModelConfig, get_model_config
+from repro.core import CodeSParser, DemonstrationRetriever, GenerationResult
+from repro.datasets import (
+    Text2SQLDataset,
+    Text2SQLExample,
+    build_aminer_simplified,
+    build_bank_financials,
+    build_bird,
+    build_dr_spider,
+    build_spider,
+    build_spider_variant,
+)
+from repro.db import Column, Database, ForeignKey, Schema, Table
+from repro.eval import (
+    EvalResult,
+    TestSuite,
+    evaluate_parser,
+    execution_match,
+    pair_samples,
+    print_table,
+)
+from repro.augment import SyntheticLLM, augment_domain
+from repro.promptgen import DatabasePrompt, PromptBuilder, PromptOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CODES_TIERS",
+    "CodeSParser",
+    "Column",
+    "Database",
+    "DatabasePrompt",
+    "DemonstrationRetriever",
+    "EvalResult",
+    "ForeignKey",
+    "GenerationResult",
+    "MODEL_REGISTRY",
+    "ModelConfig",
+    "PromptBuilder",
+    "PromptOptions",
+    "Schema",
+    "SyntheticLLM",
+    "Table",
+    "TestSuite",
+    "Text2SQLDataset",
+    "Text2SQLExample",
+    "augment_domain",
+    "build_aminer_simplified",
+    "build_bank_financials",
+    "build_bird",
+    "build_dr_spider",
+    "build_spider",
+    "build_spider_variant",
+    "evaluate_parser",
+    "execution_match",
+    "get_model_config",
+    "pair_samples",
+    "print_table",
+]

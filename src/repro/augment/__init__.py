@@ -1,0 +1,13 @@
+"""Bi-directional data augmentation for new-domain adaptation (§7)."""
+
+from repro.augment.synthetic_llm import SyntheticLLM
+from repro.augment.question2sql import QuestionToSQLAugmenter
+from repro.augment.sql2question import SQLToQuestionAugmenter
+from repro.augment.pipeline import augment_domain
+
+__all__ = [
+    "QuestionToSQLAugmenter",
+    "SQLToQuestionAugmenter",
+    "SyntheticLLM",
+    "augment_domain",
+]

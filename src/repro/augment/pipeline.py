@@ -1,0 +1,37 @@
+"""End-to-end bi-directional augmentation for one new-domain database."""
+
+from __future__ import annotations
+
+from repro.augment.question2sql import QuestionToSQLAugmenter
+from repro.augment.sql2question import SQLToQuestionAugmenter
+from repro.augment.synthetic_llm import SyntheticLLM
+from repro.datasets.base import Text2SQLDataset, Text2SQLExample
+from repro.errors import DatasetError
+
+
+def augment_domain(
+    dataset: Text2SQLDataset,
+    n_question_to_sql: int = 60,
+    n_sql_to_question: int = 90,
+    seed: int = 0,
+) -> list[Text2SQLExample]:
+    """Build an augmented training set for a new-domain dataset.
+
+    ``dataset.train`` plays the role of the few manually annotated seed
+    pairs; the result combines authentic (question-to-SQL) and generic
+    (SQL-to-question) pairs, plus the seeds themselves — "authenticity
+    and broad applicability" (§7).
+    """
+    if len(dataset.databases) != 1:
+        raise DatasetError("domain augmentation expects a single-database dataset")
+    db_id = next(iter(dataset.databases))
+    gdb = dataset.generated.get(db_id)
+    if gdb is None:
+        raise DatasetError("domain augmentation needs the generated-database artifacts")
+
+    llm = SyntheticLLM(seed=seed)
+    authentic = QuestionToSQLAugmenter(llm).augment(
+        dataset.train, gdb, n_question_to_sql
+    )
+    generic = SQLToQuestionAugmenter(llm, seed=seed).augment(gdb, n_sql_to_question)
+    return [*dataset.train, *authentic, *generic]

@@ -1,0 +1,47 @@
+"""Question-to-SQL augmentation (§7, Figure 5a).
+
+Start from a handful of genuine annotated (question, SQL) pairs, expand
+the questions with the LLM (two-stage prompting), let the LLM write SQL
+for each new question, and keep only pairs whose SQL executes.
+"""
+
+from __future__ import annotations
+
+from repro.augment.synthetic_llm import SyntheticLLM
+from repro.datasets.base import Text2SQLExample
+from repro.datasets.generator import GeneratedDatabase
+from repro.errors import TrainingError
+
+
+class QuestionToSQLAugmenter:
+    """Expands a small seed set into user-faithful training pairs."""
+
+    def __init__(self, llm: SyntheticLLM | None = None):
+        self.llm = llm or SyntheticLLM()
+
+    def augment(
+        self,
+        seed_examples: list[Text2SQLExample],
+        gdb: GeneratedDatabase,
+        n_pairs: int,
+    ) -> list[Text2SQLExample]:
+        """Produce up to ``n_pairs`` new (question, SQL) examples."""
+        if not seed_examples:
+            raise TrainingError("question-to-SQL augmentation needs seed pairs")
+        database = gdb.database
+        questions = self.llm.generate_questions(seed_examples, gdb, n_pairs)
+        pairs: list[Text2SQLExample] = []
+        seen_questions = {example.question for example in seed_examples}
+        for question in questions:
+            if question in seen_questions:
+                continue
+            sql = self.llm.write_sql(question, database)
+            if not database.is_executable(sql):
+                continue  # the LLM hallucinated schema; drop the pair
+            seen_questions.add(question)
+            pairs.append(
+                Text2SQLExample(question=question, sql=sql, db_id=gdb.db_id)
+            )
+            if len(pairs) >= n_pairs:
+                break
+        return pairs

@@ -1,0 +1,230 @@
+"""Baseline registry: configured stand-ins for the paper's comparators.
+
+Each :class:`BaselineSpec` bundles a parser factory with the protocol
+the method uses (supervised fine-tuning vs few-shot prompting, number
+of shots, retrieval mode) and a simulated per-sample API latency for
+the closed models (§9.7 reports ~60 s/sample for DIN-SQL + GPT-4).
+
+Capability calibration: closed frontier models get wide embedders,
+deep slot search and near-complete skeleton banks — strong zero/few-
+shot parsers that SFT CodeS tiers can nevertheless overtake on a
+benchmark's own distribution, which is exactly Table 5/6's finding.
+Fine-tuned seq2seq baselines reuse the SFT machinery with each method's
+signature feature: PICARD's grammar-constrained decoding maps to the
+execution-guided beam (always on here), RESDSQL's schema filtering is
+its headline contribution (kept on), while the plain T5 baseline loses
+the value retriever and pattern-aware retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import ModelConfig
+from repro.core.parser import CodeSParser
+from repro.errors import CheckpointError
+from repro.promptgen.options import PromptOptions
+
+
+def _closed(name: str, level: float, latency_s: float) -> ModelConfig:
+    """A closed-model tier; ``level`` interpolates capability knobs."""
+    return ModelConfig(
+        name=name,
+        family="closed",
+        incremental=False,
+        params_billions=175.0,
+        embed_dim=int(192 + 192 * level),
+        ngram_order=4,
+        skeleton_capacity=int(1500 + 3000 * level),
+        slot_depth=4 + int(2 * level),
+        max_context_chars=8_192,
+    )
+
+
+#: Simulated closed-model checkpoints (capability, api latency seconds).
+CLOSED_MODELS: dict[str, tuple[ModelConfig, float]] = {
+    "gpt-4": (_closed("gpt-4", 1.0, 12.0), 12.0),
+    "chatgpt": (_closed("chatgpt", 0.45, 4.0), 4.0),
+    "codex": (_closed("codex", 0.6, 5.0), 5.0),
+    "palm-2": (_closed("palm-2", 0.7, 6.0), 6.0),
+    "claude-2": (_closed("claude-2", 0.7, 6.0), 6.0),
+    "gpt-3.5": (_closed("gpt-3.5", 0.45, 4.0), 4.0),
+}
+
+
+@dataclass
+class BaselineSpec:
+    """How to build and run one baseline."""
+
+    name: str
+    make_parser: Callable[[], CodeSParser] = field(repr=False)
+    mode: str = "fewshot"  # "sft" | "fewshot"
+    shots: int = 0
+    retriever_mode: str = "pattern-aware"
+    simulated_api_latency_s: float = 0.0
+    notes: str = ""
+
+
+def _closed_parser(model: str, options: PromptOptions | None = None) -> CodeSParser:
+    config, _ = CLOSED_MODELS[model]
+    return CodeSParser(config=config, options=options)
+
+
+def _spec_prompting(
+    name: str, model: str, shots: int, notes: str,
+    options: PromptOptions | None = None,
+) -> BaselineSpec:
+    config, latency = CLOSED_MODELS[model]
+    return BaselineSpec(
+        name=name,
+        make_parser=lambda: _closed_parser(model, options),
+        mode="fewshot",
+        shots=shots,
+        simulated_api_latency_s=latency,
+        notes=notes,
+    )
+
+
+def _spec_sft(
+    name: str,
+    tier: str,
+    notes: str,
+    options: PromptOptions | None = None,
+    use_pattern_similarity: bool = True,
+) -> BaselineSpec:
+    return BaselineSpec(
+        name=name,
+        make_parser=lambda: CodeSParser(
+            tier, options=options, use_pattern_similarity=use_pattern_similarity
+        ),
+        mode="sft",
+        notes=notes,
+    )
+
+
+def _build_registry() -> dict[str, BaselineSpec]:
+    no_values = PromptOptions().without("value_retriever")
+    specs = [
+        # Prompting-based methods (Table 5 / 6 comparators).
+        _spec_prompting(
+            "gpt-4-fewshot", "gpt-4", 3, "plain few-shot GPT-4"
+        ),
+        _spec_prompting(
+            "din-sql-gpt-4", "gpt-4", 5,
+            "decomposed prompting + self-correction on GPT-4",
+        ),
+        _spec_prompting(
+            "dail-sql-gpt-4", "gpt-4", 5, "example-matching prompt on GPT-4"
+        ),
+        _spec_prompting(
+            "c3-chatgpt", "chatgpt", 0, "zero-shot calibrated ChatGPT"
+        ),
+        _spec_prompting(
+            "chatgpt", "chatgpt", 1, "plain ChatGPT prompting"
+        ),
+        _spec_prompting(
+            "chatgpt-cot", "chatgpt", 3, "ChatGPT + chain-of-thought"
+        ),
+        _spec_prompting(
+            "codex", "codex", 3, "Codex few-shot (Self-Debugging tier)"
+        ),
+        _spec_prompting(
+            "sql-palm-fewshot", "palm-2", 5, "few-shot PaLM-2"
+        ),
+        _spec_prompting(
+            "claude-2", "claude-2", 3, "few-shot Claude-2"
+        ),
+        _spec_prompting(
+            "gpt-3.5", "gpt-3.5", 3, "GPT-3.5 used by the augmentation pipeline"
+        ),
+        # Fine-tuning-based methods.
+        _spec_sft(
+            "t5-3b-picard", "llama2-7b",
+            "seq2seq + grammar-constrained decoding; no value retriever, "
+            "question-only retrieval",
+            options=no_values,
+            use_pattern_similarity=False,
+        ),
+        _spec_sft(
+            "resdsql-3b-natsql", "llama2-13b",
+            "schema-filter pioneer; question-only retrieval, no "
+            "representative values in its serialization",
+            options=PromptOptions().without("representative_values"),
+            use_pattern_similarity=False,
+        ),
+        _spec_sft(
+            "graphix-t5-3b", "llama2-13b",
+            "graph-aware encoder; modeled as a mid-tier SFT parser",
+            options=no_values,
+        ),
+        _spec_sft("sft-llama2-7b", "llama2-7b", "fine-tuned Llama-2-7B"),
+        _spec_sft("sft-llama2-13b", "llama2-13b", "fine-tuned Llama-2-13B"),
+        BaselineSpec(
+            name="sql-palm-finetuned",
+            make_parser=lambda: _closed_parser("palm-2"),
+            mode="sft",
+            notes="fine-tuned PaLM-2",
+        ),
+        BaselineSpec(
+            name="smbop",
+            make_parser=lambda: CodeSParser(
+                "codegen2-7b",
+                options=PromptOptions().without("value_retriever"),
+                use_pattern_similarity=False,
+            ),
+            mode="sft",
+            notes="semi-autoregressive bottom-up parser (weak baseline)",
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def evaluate_baseline(
+    spec: BaselineSpec,
+    dataset,
+    use_external_knowledge: bool = False,
+    limit: int | None = None,
+    **eval_kwargs,
+):
+    """Run one baseline with its own protocol on ``dataset``'s dev split."""
+    from repro.core.retriever import DemonstrationRetriever
+    from repro.eval.harness import evaluate_parser, pair_samples
+
+    parser = spec.make_parser()
+    if spec.mode == "sft":
+        parser.fit(
+            pair_samples(dataset), use_external_knowledge=use_external_knowledge
+        )
+        return evaluate_parser(
+            parser, dataset, name=spec.name, limit=limit,
+            use_external_knowledge=use_external_knowledge, **eval_kwargs,
+        )
+    retriever = None
+    if spec.shots > 0:
+        retriever = DemonstrationRetriever(
+            dataset.train, embedder=parser.embedder, mode=spec.retriever_mode
+        )
+    return evaluate_parser(
+        parser, dataset, name=spec.name, limit=limit,
+        demonstrations_per_question=spec.shots,
+        demonstration_retriever=retriever,
+        use_external_knowledge=use_external_knowledge,
+        **eval_kwargs,
+    )
+
+
+_REGISTRY = _build_registry()
+
+#: All registered baseline names.
+BASELINE_NAMES = tuple(sorted(_REGISTRY))
+
+
+def make_baseline(name: str) -> BaselineSpec:
+    """Look up a baseline spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CheckpointError(
+            f"unknown baseline {name!r}; known: {list(BASELINE_NAMES)}"
+        ) from None

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro datasets                         # list the available benchmarks
+    repro eval --dataset spider --model codes-7b [--mode sft|fewshot|zeroshot]
+    repro ask --dataset bank_financials --question "How many clients..."
+    repro augment --domain bank_financials --out pairs.json
+
+Everything runs offline and deterministically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.augment import augment_domain
+from repro.config import MODEL_REGISTRY
+from repro.core import CodeSParser, DemonstrationRetriever
+from repro.datasets import (
+    build_aminer_simplified,
+    build_bank_financials,
+    build_bird,
+    build_spider,
+    build_spider_variant,
+)
+from repro.eval.harness import evaluate_parser, pair_samples
+from repro.eval.reporting import format_table
+
+_BUILDERS = {
+    "spider": build_spider,
+    "bird": build_bird,
+    "spider-syn": lambda: build_spider_variant("spider-syn"),
+    "spider-realistic": lambda: build_spider_variant("spider-realistic"),
+    "spider-dk": lambda: build_spider_variant("spider-dk"),
+    "bank_financials": build_bank_financials,
+    "aminer_simplified": build_aminer_simplified,
+}
+
+
+def _build_dataset(name: str):
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        sys.exit(f"unknown dataset {name!r}; choose from {sorted(_BUILDERS)}")
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name, builder in _BUILDERS.items():
+        dataset = builder()
+        rows.append(
+            {
+                "dataset": name,
+                "databases": len(dataset.databases),
+                "train": len(dataset.train),
+                "dev": len(dataset.dev),
+            }
+        )
+    print(format_table(rows, title="Available benchmarks"))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.dataset)
+    parser = CodeSParser(args.model)
+    kwargs = {}
+    if args.mode == "sft":
+        parser.fit(pair_samples(dataset), use_external_knowledge=args.ek)
+    elif args.mode == "fewshot":
+        retriever = DemonstrationRetriever(dataset.train, embedder=parser.embedder)
+        kwargs = {
+            "demonstrations_per_question": args.shots,
+            "demonstration_retriever": retriever,
+        }
+    else:  # zeroshot
+        kwargs = {"demonstrations_per_question": 0}
+    result = evaluate_parser(
+        parser, dataset,
+        use_external_knowledge=args.ek,
+        compute_ts=args.ts,
+        limit=args.limit,
+        **kwargs,
+    )
+    print(format_table([result.as_row()], title=f"{args.model} on {args.dataset}"))
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.dataset)
+    parser = CodeSParser(args.model)
+    if dataset.train:
+        parser.fit(pair_samples(dataset))
+    db_id = args.db_id or next(iter(dataset.databases))
+    database = dataset.databases[db_id]
+    result = parser.generate(args.question, database)
+    print(f"SQL: {result.sql}")
+    rows = database.execute(result.sql)
+    for row in rows[:20]:
+        print(" ", row)
+    if len(rows) > 20:
+        print(f"  ... ({len(rows)} rows total)")
+    return 0
+
+
+def _cmd_augment(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.domain)
+    pairs = augment_domain(
+        dataset,
+        n_question_to_sql=args.question_to_sql,
+        n_sql_to_question=args.sql_to_question,
+        seed=args.seed,
+    )
+    payload = [
+        {"question": pair.question, "sql": pair.sql, "db_id": pair.db_id}
+        for pair in pairs
+    ]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(payload)} pairs to {args.out}")
+    else:
+        print(json.dumps(payload[:5], indent=2))
+        print(f"... {len(payload)} pairs total (use --out to save)")
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CodeS text-to-SQL reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available benchmarks").set_defaults(
+        func=_cmd_datasets
+    )
+
+    eval_parser = sub.add_parser("eval", help="evaluate a model on a benchmark")
+    eval_parser.add_argument("--dataset", default="spider")
+    eval_parser.add_argument(
+        "--model", default="codes-7b", choices=sorted(MODEL_REGISTRY)
+    )
+    eval_parser.add_argument(
+        "--mode", default="sft", choices=("sft", "fewshot", "zeroshot")
+    )
+    eval_parser.add_argument("--shots", type=int, default=3)
+    eval_parser.add_argument("--ek", action="store_true",
+                             help="use external knowledge (BIRD)")
+    eval_parser.add_argument("--ts", action="store_true",
+                             help="also compute test-suite accuracy")
+    eval_parser.add_argument("--limit", type=int, default=None)
+    eval_parser.set_defaults(func=_cmd_eval)
+
+    ask_parser = sub.add_parser("ask", help="translate one question to SQL")
+    ask_parser.add_argument("--dataset", default="bank_financials")
+    ask_parser.add_argument(
+        "--model", default="codes-7b", choices=sorted(MODEL_REGISTRY)
+    )
+    ask_parser.add_argument("--db-id", default=None)
+    ask_parser.add_argument("--question", required=True)
+    ask_parser.set_defaults(func=_cmd_ask)
+
+    augment_parser = sub.add_parser(
+        "augment", help="run bi-directional augmentation for a domain"
+    )
+    augment_parser.add_argument(
+        "--domain", default="bank_financials",
+        choices=("bank_financials", "aminer_simplified"),
+    )
+    augment_parser.add_argument("--question-to-sql", type=int, default=60)
+    augment_parser.add_argument("--sql-to-question", type=int, default=90)
+    augment_parser.add_argument("--seed", type=int, default=0)
+    augment_parser.add_argument("--out", default=None)
+    augment_parser.set_defaults(func=_cmd_augment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

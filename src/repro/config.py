@@ -1,0 +1,125 @@
+"""Model tier registry.
+
+The paper releases CodeS at 1B/3B/7B/15B parameters and compares it to
+StarCoder(-Base/-Plus), CodeGen(2) and Llama-2 checkpoints.  Offline,
+"size" maps onto capacity knobs that genuinely change behaviour:
+
+- ``embed_dim`` — retrieval-embedding width (fewer hash collisions as
+  it grows, so sharper demonstration/skeleton retrieval);
+- ``ngram_order`` — context length of the SQL ranking prior;
+- ``skeleton_capacity`` — how many SQL skeletons the model retains from
+  pre-training (its "SQL knowledge");
+- ``slot_depth`` — how many alternatives the parser explores per slot
+  when instantiating a skeleton (search breadth);
+- ``max_context_chars`` — prompt budget (CodeS-15B has the *smaller*
+  context, 6,144 vs 8,192 tokens, exactly as in Table 1).
+
+``family`` and ``incremental`` select the pre-training recipe from
+:mod:`repro.lm.pretrain`: CodeS tiers are StarCoder tiers continued on
+the SQL-centric corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import CheckpointError
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Capacity and provenance knobs of one model tier."""
+
+    name: str
+    family: str  # "starcoder" | "codegen" | "llama"
+    incremental: bool  # True for CodeS (SQL-centric continued pre-training)
+    params_billions: float
+    embed_dim: int
+    ngram_order: int
+    skeleton_capacity: int
+    slot_depth: int
+    beam_size: int = 4
+    max_context_chars: int = 8_192
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        positive = (
+            self.embed_dim, self.ngram_order, self.skeleton_capacity,
+            self.slot_depth, self.beam_size, self.max_context_chars,
+        )
+        if min(positive) <= 0:
+            raise CheckpointError(
+                f"model config {self.name!r} has non-positive capacity knobs"
+            )
+
+    def derived(self, **overrides) -> "ModelConfig":
+        """Copy with overridden fields (ablation helper)."""
+        return replace(self, **overrides)
+
+
+def _tier(
+    name: str,
+    family: str,
+    incremental: bool,
+    params: float,
+    level: int,
+    context: int = 8_192,
+) -> ModelConfig:
+    """Capacity level 0..3 maps to the knob schedule below."""
+    embed_dims = (48, 96, 192, 320)
+    orders = (2, 3, 4, 4)
+    capacities = (40, 120, 400, 1200)
+    depths = (2, 3, 4, 5)
+    return ModelConfig(
+        name=name,
+        family=family,
+        incremental=incremental,
+        params_billions=params,
+        embed_dim=embed_dims[level],
+        ngram_order=orders[level],
+        skeleton_capacity=capacities[level],
+        slot_depth=depths[level],
+        max_context_chars=context,
+    )
+
+
+MODEL_REGISTRY: dict[str, ModelConfig] = {
+    config.name: config
+    for config in (
+        # CodeS — incrementally pre-trained StarCoder tiers (Table 1).
+        _tier("codes-1b", "starcoder", True, 1.0, 0),
+        _tier("codes-3b", "starcoder", True, 3.0, 1),
+        _tier("codes-7b", "starcoder", True, 7.0, 2),
+        _tier("codes-15b", "starcoder", True, 15.0, 3, context=6_144),
+        # StarCoder family (base models before incremental pre-training).
+        _tier("starcoderbase-1b", "starcoder", False, 1.0, 0),
+        _tier("starcoderbase-3b", "starcoder", False, 3.0, 1),
+        _tier("starcoderbase-7b", "starcoder", False, 7.0, 2),
+        _tier("starcoderbase-15b", "starcoder", False, 15.0, 3, context=6_144),
+        _tier("starcoder-15b", "starcoder", False, 15.0, 3, context=6_144),
+        _tier("starcoderplus-15b", "starcoder", False, 15.0, 3, context=6_144),
+        # CodeGen family.  Capability levels reflect *SQL-specific*
+        # ability, which depends on pre-training exposure as well as raw
+        # size (the paper's Table 4: CodeGen-16B trails StarCoder-7B).
+        _tier("codegen-mono-6b", "codegen", False, 6.0, 1),
+        _tier("codegen2-7b", "codegen", False, 7.0, 1),
+        _tier("codegen-mono-16b", "codegen", False, 16.0, 2),
+        _tier("codegen2-16b", "codegen", False, 16.0, 2),
+        # Llama-2 family: strong general LMs, little SQL exposure.
+        _tier("llama2-7b", "llama", False, 7.0, 1),
+        _tier("llama2-13b", "llama", False, 13.0, 2),
+    )
+}
+
+#: The four CodeS tiers, smallest to largest.
+CODES_TIERS = ("codes-1b", "codes-3b", "codes-7b", "codes-15b")
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a registered tier by name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise CheckpointError(
+            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None

@@ -1,0 +1,598 @@
+"""The CodeS text-to-SQL parser (paper §4–§8).
+
+Pipeline per question:
+
+1. **database prompt construction** (§6) — schema filter, value
+   retriever, metadata (via :class:`repro.promptgen.PromptBuilder`);
+2. **template retrieval** — the most similar training examples (SFT) or
+   provided demonstrations (ICL) by the question-pattern-aware
+   similarity of §8.2, backed by the model's pre-training skeleton bank
+   (mined from the SQL its corpus actually contained);
+3. **slot filling** (:mod:`repro.core.slotfill`) — templates are
+   instantiated against the target schema using linking scores,
+   retrieved values, and question literals;
+4. **ranking** — candidates are scored by template similarity plus the
+   pre-trained LM's sequence prior;
+5. **execution-guided beam** (§9.1.4) — of the top ``beam_size``
+   candidates, the first that executes on the database wins.
+
+Model tiers (1B…15B) differ in embedder width, n-gram order, skeleton
+capacity and slot depth — see :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ModelConfig, get_model_config
+from repro.datasets.base import Text2SQLExample
+from repro.db.database import Database
+from repro.errors import (
+    CheckpointError,
+    GenerationError,
+    SQLSyntaxError,
+    TrainingError,
+)
+from repro.lm.corpus import CorpusConfig, PretrainCorpus, build_corpus
+from repro.lm.pretrain import IncrementalPretrainer, PretrainedLM, pretrain_base_lm
+from repro.linking.classifier import LinkingExample, SchemaItemClassifier
+from repro.linking.features import SchemaFeatureExtractor
+from repro.linking.lexical import LexicalSchemaScorer
+from repro.promptgen.builder import DatabasePrompt, PromptBuilder
+from repro.promptgen.options import PromptOptions
+from repro.sqlgen.ast import Query
+from repro.sqlgen.parser import parse_sql
+from repro.sqlgen.serializer import serialize
+from repro.sqlgen.skeleton import skeleton_of_query
+from repro.text.embedder import HashedNgramEmbedder
+from repro.text.pattern import extract_pattern
+from repro.core.slotfill import InstantiationContext, instantiate_template
+from repro.core.structure import structure_prior
+
+#: Module-level cache of pre-trained LMs, keyed by recipe.
+_LM_CACHE: dict[tuple[str, bool, int], PretrainedLM] = {}
+_CORPUS_CACHE: dict[int, PretrainCorpus] = {}
+
+
+def _corpus(seed: int = 0) -> PretrainCorpus:
+    if seed not in _CORPUS_CACHE:
+        _CORPUS_CACHE[seed] = build_corpus(CorpusConfig(seed=seed))
+    return _CORPUS_CACHE[seed]
+
+
+def pretrained_lm_for(config: ModelConfig) -> PretrainedLM:
+    """The (cached) pre-trained LM for a model tier."""
+    key = (config.family, config.incremental, config.ngram_order)
+    if key not in _LM_CACHE:
+        corpus = _corpus()
+        base = pretrain_base_lm(
+            config.family, order=config.ngram_order, corpus=corpus
+        )
+        if config.incremental:
+            base = IncrementalPretrainer(corpus=corpus).run(base)
+        _LM_CACHE[key] = base
+    return _LM_CACHE[key]
+
+
+@dataclass(frozen=True)
+class _IndexEntry:
+    """One retrievable template with its source question."""
+
+    question: str
+    template: Query
+    question_vec: np.ndarray = field(repr=False, compare=False, default=None)
+    pattern_vec: np.ndarray = field(repr=False, compare=False, default=None)
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """The chosen SQL plus diagnostics."""
+
+    sql: str
+    executable: bool
+    candidates: tuple[str, ...]
+    prompt: DatabasePrompt
+
+
+class CodeSParser:
+    """Retrieval-and-fill text-to-SQL parser with CodeS's architecture."""
+
+    def __init__(
+        self,
+        model: str = "codes-7b",
+        options: PromptOptions | None = None,
+        seed: int = 0,
+        use_pattern_similarity: bool = True,
+        config: ModelConfig | None = None,
+    ):
+        self.config = config or get_model_config(model)
+        self.use_pattern_similarity = use_pattern_similarity
+        options = options or PromptOptions()
+        # The model's context length caps the prompt budget (Table 1:
+        # CodeS-15B has the shorter 6,144-token context).
+        from dataclasses import replace as _replace
+
+        self.options = _replace(
+            options,
+            max_prompt_chars=min(
+                options.max_prompt_chars, self.config.max_context_chars
+            ),
+        )
+        self.lm = pretrained_lm_for(self.config)
+        self.embedder = HashedNgramEmbedder(dim=self.config.embed_dim)
+        self.extractor = SchemaFeatureExtractor(
+            embedder=self.embedder,
+            use_comments=self.options.include_comments,
+        )
+        self.classifier: SchemaItemClassifier | None = None
+        self.seed = seed
+        self._lexical_scorer = LexicalSchemaScorer(self.extractor)
+        self._index: list[_IndexEntry] = []
+        self._skeleton_bank: list[Query] = self._mine_skeleton_bank()
+        self._builders: dict[tuple[int, int], PromptBuilder] = {}
+
+    # -- pre-training knowledge ----------------------------------------------
+
+    def _mine_skeleton_bank(self) -> list[Query]:
+        """Distinct SQL skeletons the model absorbed during pre-training."""
+        counts: Counter[str] = Counter()
+        representative: dict[str, Query] = {}
+        for sql in self.lm.seen_sql:
+            try:
+                query = parse_sql(sql)
+            except SQLSyntaxError:
+                continue
+            skeleton = skeleton_of_query(query)
+            counts[skeleton] += 1
+            representative.setdefault(skeleton, query)
+        ranked = [skeleton for skeleton, _ in counts.most_common()]
+        capacity = self.config.skeleton_capacity
+        return [representative[skeleton] for skeleton in ranked[:capacity]]
+
+    @property
+    def skeleton_bank_size(self) -> int:
+        return len(self._skeleton_bank)
+
+    def _knows_skeleton(self, template: Query) -> bool:
+        """Did pre-training expose this SQL structure to the model?"""
+        if not hasattr(self, "_skeleton_set"):
+            self._skeleton_set = {
+                skeleton_of_query(query) for query in self._skeleton_bank
+            }
+        return skeleton_of_query(template) in self._skeleton_set
+
+    # -- supervised fine-tuning ------------------------------------------------
+
+    def fit(
+        self,
+        samples: list[tuple[Text2SQLExample, Database]],
+        classifier_epochs: int = 30,
+        use_external_knowledge: bool = False,
+    ) -> None:
+        """SFT: index the training templates and train the schema classifier."""
+        if not samples:
+            raise TrainingError("cannot fine-tune on an empty training set")
+        entries: list[_IndexEntry] = []
+        linking: list[LinkingExample] = []
+        for example, database in samples:
+            question = (
+                example.question_with_knowledge()
+                if use_external_knowledge
+                else example.question
+            )
+            try:
+                template = parse_sql(example.sql)
+            except SQLSyntaxError:
+                continue
+            entries.append(
+                _IndexEntry(
+                    question=question,
+                    template=template,
+                    question_vec=self.embedder.embed(question),
+                    pattern_vec=self.embedder.embed(extract_pattern(question)),
+                )
+            )
+            try:
+                linking.append(
+                    LinkingExample.from_sql(question, database.schema, example.sql)
+                )
+            except TrainingError:
+                continue
+        if not entries:
+            raise TrainingError("no parseable training SQL found")
+        self._index = entries
+        self.classifier = SchemaItemClassifier(
+            extractor=self.extractor, seed=self.seed
+        )
+        self.classifier.fit(linking, epochs=classifier_epochs, seed=self.seed)
+
+    @property
+    def fine_tuned(self) -> bool:
+        return self.classifier is not None and bool(self._index)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the fine-tuned state (.npz): index + classifier.
+
+        Pre-training state is derived deterministically from the model
+        name, so only the SFT artifacts need to be stored.
+        """
+        import json
+
+        import numpy as np
+
+        if not self.fine_tuned:
+            raise CheckpointError("cannot save a parser that was not fine-tuned")
+        index_payload = [
+            {"question": entry.question, "sql": serialize(entry.template)}
+            for entry in self._index
+        ]
+        meta = {
+            "model": self.config.name,
+            "use_pattern_similarity": self.use_pattern_similarity,
+            "seed": self.seed,
+        }
+        state = self.classifier.model.state_dict()
+        np.savez(
+            path,
+            meta=json.dumps(meta),
+            index=json.dumps(index_payload),
+            **{f"clf_{key}": value for key, value in state.items()},
+        )
+
+    @classmethod
+    def load(cls, path: str, options: PromptOptions | None = None) -> "CodeSParser":
+        """Restore a parser saved with :meth:`save`."""
+        import json
+
+        import numpy as np
+
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        meta = json.loads(str(archive["meta"]))
+        parser = cls(
+            meta["model"],
+            options=options,
+            seed=int(meta["seed"]),
+            use_pattern_similarity=bool(meta["use_pattern_similarity"]),
+        )
+        entries: list[_IndexEntry] = []
+        for item in json.loads(str(archive["index"])):
+            template = parse_sql(item["sql"])
+            question = item["question"]
+            entries.append(
+                _IndexEntry(
+                    question=question,
+                    template=template,
+                    question_vec=parser.embedder.embed(question),
+                    pattern_vec=parser.embedder.embed(extract_pattern(question)),
+                )
+            )
+        parser._index = entries
+        parser.classifier = SchemaItemClassifier(
+            extractor=parser.extractor, seed=parser.seed
+        )
+        parser.classifier.model.load_state_dict(
+            {
+                key[len("clf_"):]: archive[key]
+                for key in archive.files
+                if key.startswith("clf_")
+            }
+        )
+        parser.classifier.trained = True
+        return parser
+
+    # -- prompt construction ----------------------------------------------------
+
+    def _builder_for(self, database: Database) -> PromptBuilder:
+        key = (id(database), id(self.options))
+        if key not in self._builders:
+            self._builders[key] = PromptBuilder(
+                database, classifier=self.classifier, options=self.options
+            )
+        return self._builders[key]
+
+    # -- template retrieval ------------------------------------------------------
+
+    def _entries_from(self, examples: list[Text2SQLExample]) -> list[_IndexEntry]:
+        entries = []
+        for example in examples:
+            try:
+                template = parse_sql(example.sql)
+            except SQLSyntaxError:
+                continue
+            entries.append(
+                _IndexEntry(
+                    question=example.question,
+                    template=template,
+                    question_vec=self.embedder.embed(example.question),
+                    pattern_vec=self.embedder.embed(
+                        extract_pattern(example.question)
+                    ),
+                )
+            )
+        return entries
+
+    def _retrieve_templates(
+        self, question: str, entries: list[_IndexEntry], top_n: int
+    ) -> list[tuple[Query, float]]:
+        """Top templates by Eq. 4 similarity, diversified by skeleton.
+
+        Near-duplicate templates waste beam slots, so at most two
+        entries per SQL skeleton survive.
+        """
+        if not entries:
+            return []
+        question_vec = self.embedder.embed(question)
+        pattern_vec = self.embedder.embed(extract_pattern(question))
+        scored = []
+        for entry in entries:
+            sim = float(entry.question_vec @ question_vec)
+            if self.use_pattern_similarity:
+                sim = max(sim, float(entry.pattern_vec @ pattern_vec))
+            scored.append((entry.template, sim))
+        scored.sort(key=lambda pair: -pair[1])
+        diverse: list[tuple[Query, float]] = []
+        per_skeleton: Counter[str] = Counter()
+        for template, sim in scored:
+            skeleton = skeleton_of_query(template)
+            if per_skeleton[skeleton] >= 2:
+                continue
+            per_skeleton[skeleton] += 1
+            diverse.append((template, sim))
+            if len(diverse) >= top_n:
+                break
+        return diverse
+
+    # -- generation ----------------------------------------------------------------
+
+    def generate(
+        self,
+        question: str,
+        database: Database,
+        demonstrations: list[Text2SQLExample] | None = None,
+        external_knowledge: str = "",
+    ) -> GenerationResult:
+        """Translate ``question`` into SQL for ``database``.
+
+        With ``demonstrations`` the parser runs in few-shot ICL mode
+        (templates come from the demonstrations plus the pre-training
+        skeleton bank); otherwise it uses the SFT index built by
+        :meth:`fit`.
+        """
+        # External knowledge clarifies *schema linking* ("'title' refers
+        # to book.t2"); it is not part of the user's ask, so literal
+        # extraction and template retrieval stay on the bare question.
+        linking_question = question
+        if external_knowledge:
+            linking_question = f"{question} ({external_knowledge})"
+        builder = self._builder_for(database)
+        prompt = builder.build(question, linking_question=linking_question)
+        matched = list(prompt.matched_values)
+
+        lexical = self._lexical_scorer.score_schema(
+            linking_question, prompt.schema, matched
+        )
+        if self.classifier is not None and self.classifier.trained:
+            learned = self.classifier.score_schema(
+                linking_question, prompt.schema, matched
+            )
+            # Surface evidence (names, comments, matched values) backs up
+            # the trained classifier: on schemas unlike the training
+            # distribution (renamed columns, new domains) the classifier
+            # is blind where the lexical signal still reads the comments.
+            scores = _blend_scores(learned, lexical)
+        else:
+            scores = lexical
+
+        representative = None
+        if self.options.include_representative_values:
+            representative = builder._representative
+        ctx = InstantiationContext(
+            question=question,
+            schema=prompt.schema,
+            scores=scores,
+            matched_values=matched,
+            use_types=self.options.include_column_types,
+            slot_depth=self.config.slot_depth,
+            representative=representative,
+        )
+
+        in_context_mode = demonstrations is not None
+        if in_context_mode:
+            entries = self._entries_from(demonstrations)
+        else:
+            entries = self._index
+        top_n = 2 + self.config.slot_depth
+        templates = self._retrieve_templates(question, entries, top_n)
+        if in_context_mode:
+            # Without fine-tuning, a model can only reliably *produce*
+            # SQL structures it absorbed during pre-training; templates
+            # outside its skeleton bank are heavily discounted.  This is
+            # where incremental pre-training pays off at inference time.
+            templates = [
+                (template, sim if self._knows_skeleton(template) else 0.35 * sim)
+                for template, sim in templates
+            ]
+        # The pre-training skeleton bank backs up sparse demonstrations;
+        # with no demonstrations at all (zero-shot), or only weakly
+        # matching ones, the model falls back on its whole structural
+        # repertoire, ranked by how well each skeleton's structure
+        # matches the question's cues.
+        best_sim = max((sim for _, sim in templates), default=0.0)
+        if templates and best_sim >= 0.45:
+            bank_quota = max(1, self.config.slot_depth)
+        else:
+            bank_quota = max(12, 6 * self.config.slot_depth)
+        for template in self._skeleton_bank[:bank_quota]:
+            prior = structure_prior(question, template)
+            templates.append((template, 0.35 * prior))
+
+        candidates: list[tuple[str, float]] = []
+        seen: set[str] = set()
+        for template, retrieval_sim in templates:
+            for candidate in instantiate_template(template, ctx):
+                filled = candidate.query
+                sql = serialize(filled)
+                key = sql.lower()
+                if key in seen:
+                    continue
+                seen.add(key)
+                used = filled.columns_used()
+                link_quality = (
+                    sum(scores.columns.get(col, 0.0) for col in used) / len(used)
+                    if used
+                    else 0.0
+                )
+                tables = filled.tables_used()
+                table_quality = (
+                    sum(scores.tables.get(name, 0.0) for name in tables) / len(tables)
+                    if tables
+                    else 0.0
+                )
+                score = (
+                    2.0 * retrieval_sim
+                    + 0.5 * link_quality
+                    + 0.4 * table_quality
+                    + 0.08 * self.lm.score(sql)
+                    + 0.25 * _value_bonus(filled, matched)
+                    - 0.1 * _projection_filter_overlap(filled)
+                    - 0.5 * _count_mismatch(filled, question)
+                    - 0.3 * candidate.ungrounded_literals
+                )
+                candidates.append((sql, score))
+        if not candidates:
+            raise GenerationError(
+                f"no SQL candidate could be built for question {question!r}"
+            )
+        candidates.sort(key=lambda pair: -pair[1])
+        beam = [sql for sql, _ in candidates[: self.config.beam_size]]
+        chosen = None
+        for sql in beam:
+            if database.is_executable(sql):
+                chosen = sql
+                break
+        executable = chosen is not None
+        if chosen is None:
+            chosen = beam[0]
+        return GenerationResult(
+            sql=chosen,
+            executable=executable,
+            candidates=tuple(beam),
+            prompt=prompt,
+        )
+
+
+def _blend_scores(learned, lexical):
+    """Blend classifier probabilities with squashed lexical evidence."""
+    import math
+
+    from repro.linking.classifier import SchemaScores
+
+    def squash(value: float) -> float:
+        return 1.0 / (1.0 + math.exp(-(value - 1.2)))
+
+    return SchemaScores(
+        tables={
+            name: max(score, squash(lexical.tables.get(name, 0.0)))
+            for name, score in learned.tables.items()
+        },
+        columns={
+            key: max(score, squash(lexical.columns.get(key, 0.0)))
+            for key, score in learned.columns.items()
+        },
+    )
+
+
+def _predicate_bindings(query: Query) -> list[tuple[str, object]]:
+    """(column key, literal value) pairs of equality/IN predicates."""
+    from repro.sqlgen.ast import (
+        BinaryCondition, ColumnRef, CompoundCondition, InCondition, Literal,
+    )
+
+    bindings: list[tuple[str, object]] = []
+
+    def visit(cond) -> None:
+        if isinstance(cond, BinaryCondition):
+            if (
+                cond.op == "="
+                and isinstance(cond.left, ColumnRef)
+                and isinstance(cond.right, Literal)
+            ):
+                bindings.append((cond.left.key(), cond.right.value))
+        elif isinstance(cond, InCondition):
+            if isinstance(cond.expr, ColumnRef):
+                for value in cond.values:
+                    bindings.append((cond.expr.key(), value.value))
+        elif isinstance(cond, CompoundCondition):
+            for sub in cond.conditions:
+                visit(sub)
+
+    current = query
+    while current is not None:
+        if current.where is not None:
+            visit(current.where)
+        current = current.compound_query
+    return bindings
+
+
+def _value_bonus(query: Query, matched) -> float:
+    """Reward candidates whose predicates bind a retrieved value to the
+    column it was actually found in."""
+    if not matched:
+        return 0.0
+    matched_keys = {
+        (f"{m.table.lower()}.{m.column.lower()}", m.value) for m in matched
+    }
+    for column_key, value in _predicate_bindings(query):
+        if (column_key, value) in matched_keys:
+            return 1.0
+    return 0.0
+
+
+_COUNT_CUES = re.compile(r"\b(how many|number of|count|tally)\b", re.IGNORECASE)
+
+
+def _count_mismatch(query: Query, question: str) -> float:
+    """1.0 when the candidate's COUNT-ness contradicts the question.
+
+    Bare COUNT(*) projections should answer counting questions; a
+    question without a counting cue should not be answered by a count,
+    and vice versa (unless the count rides along a GROUP BY).
+    """
+    from repro.sqlgen.ast import Aggregation
+
+    has_cue = bool(_COUNT_CUES.search(question))
+    is_bare_count = (
+        len(query.select_items) == 1
+        and isinstance(query.select_items[0].expr, Aggregation)
+        and query.select_items[0].expr.func == "count"
+        and not query.group_by
+    )
+    if is_bare_count and not has_cue:
+        return 1.0
+    return 0.0
+
+
+def _projection_filter_overlap(query: Query) -> float:
+    """1.0 when a projected column is also equality-filtered.
+
+    Users rarely ask to display the very attribute they constrained to a
+    single value, so such candidates are slightly demoted.
+    """
+    from repro.sqlgen.ast import ColumnRef
+
+    projected = {
+        item.expr.key()
+        for item in query.select_items
+        if isinstance(item.expr, ColumnRef) and item.expr.column != "*"
+    }
+    filtered = {column_key for column_key, _ in _predicate_bindings(query)}
+    return float(bool(projected & filtered))

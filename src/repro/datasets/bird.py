@@ -1,0 +1,76 @@
+"""The BIRD-like benchmark: ambiguous schemas, wide tables, dirty values.
+
+BIRD's defining stresses relative to Spider (§9.1.1):
+
+- **ambiguous column names** — descriptive names are replaced by
+  cryptic abbreviations whose meaning lives only in the column comment;
+- **wide tables** — distractor columns pad every table;
+- **large, dirty content** — far more rows, with noisy surface forms;
+- **external knowledge** — optional per-example notes that map question
+  phrases to the cryptic columns ("'birth year' refers to p3"),
+  evaluated both with and without.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.base import Text2SQLDataset
+from repro.datasets.generator import GenerationOptions
+from repro.datasets.spider import _generate_examples, build_generated_databases
+
+
+@dataclass(frozen=True)
+class BirdConfig:
+    """Scale knobs of the BIRD-like benchmark."""
+
+    n_train_databases: int = 5
+    n_dev_databases: int = 3
+    train_per_database: int = 30
+    dev_per_database: int = 16
+    rows_per_table: int = 120
+    extra_columns: int = 5
+    ambiguous_fraction: float = 0.6
+    comment_coverage: float = 0.5
+    seed: int = 7
+
+
+def build_bird(config: BirdConfig | None = None) -> Text2SQLDataset:
+    """Build the BIRD-like benchmark (examples carry external knowledge)."""
+    config = config or BirdConfig()
+    total = config.n_train_databases + config.n_dev_databases
+    generated = build_generated_databases(
+        total,
+        lambda index: GenerationOptions(
+            rows_per_table=config.rows_per_table,
+            ambiguous_naming=True,
+            ambiguous_fraction=config.ambiguous_fraction,
+            comment_coverage=config.comment_coverage,
+            extra_columns=config.extra_columns,
+            dirty_values=True,
+            seed=config.seed + index,
+        ),
+        seed=config.seed,
+        prefix="bird",
+    )
+    rng = random.Random(f"bird:{config.seed}")
+    train = []
+    dev = []
+    for index, gdb in enumerate(generated):
+        target = train if index < config.n_train_databases else dev
+        count = (
+            config.train_per_database
+            if index < config.n_train_databases
+            else config.dev_per_database
+        )
+        target.extend(_generate_examples(gdb, count, rng, with_ek=True))
+    dataset = Text2SQLDataset(
+        name="bird",
+        databases={gdb.db_id: gdb.database for gdb in generated},
+        train=train,
+        dev=dev,
+        generated={gdb.db_id: gdb for gdb in generated},
+    )
+    dataset.validate()
+    return dataset

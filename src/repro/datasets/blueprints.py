@@ -1,0 +1,403 @@
+"""Domain blueprints: the raw material of synthetic benchmarks.
+
+A blueprint declares a domain's tables, typed columns with *semantics*
+(which value pool fills them) and readable *phrases* (how questions
+refer to them), and foreign keys.  Spider covers 138 domains with 200
+databases; here a dozen blueprints instantiated with column dropout and
+renaming provide the analogous cross-domain variety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: storage type, value semantics, question phrase."""
+
+    name: str
+    type: str
+    semantic: str
+    phrase: str = ""
+    comment: str = ""
+
+    def readable(self) -> str:
+        return self.phrase or self.name.replace("_", " ")
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One table with its columns and the plural noun questions use."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    plural: str = ""
+    comment: str = ""
+
+    def noun(self) -> str:
+        return self.plural or self.name.replace("_", " ") + "s"
+
+
+@dataclass(frozen=True)
+class FKSpec:
+    src_table: str
+    src_column: str
+    dst_table: str
+    dst_column: str
+
+
+@dataclass(frozen=True)
+class DomainBlueprint:
+    """A complete domain schema description."""
+
+    name: str
+    domain: str
+    tables: tuple[TableSpec, ...]
+    foreign_keys: tuple[FKSpec, ...] = ()
+
+
+def _col(name: str, type_: str, semantic: str, phrase: str = "", comment: str = "") -> ColumnSpec:
+    return ColumnSpec(name=name, type=type_, semantic=semantic, phrase=phrase, comment=comment)
+
+
+def _entity(name: str, *columns: ColumnSpec, plural: str = "", comment: str = "") -> TableSpec:
+    pk = _col(f"{name}_id", "INTEGER", "pk", phrase=f"{name} id")
+    return TableSpec(name=name, columns=(pk, *columns), plural=plural, comment=comment)
+
+
+BLUEPRINTS: tuple[DomainBlueprint, ...] = (
+    DomainBlueprint(
+        name="concert_hall",
+        domain="music",
+        tables=(
+            _entity(
+                "singer",
+                _col("name", "TEXT", "person_name", "name"),
+                _col("country", "TEXT", "country", "country"),
+                _col("birth_year", "INTEGER", "year", "birth year"),
+                _col("genre", "TEXT", "category", "genre"),
+            ),
+            _entity(
+                "album",
+                _col("singer_id", "INTEGER", "fk:singer"),
+                _col("title", "TEXT", "title", "title"),
+                _col("release_year", "INTEGER", "year", "release year"),
+                _col("sales", "REAL", "amount", "sales"),
+            ),
+            _entity(
+                "concert",
+                _col("singer_id", "INTEGER", "fk:singer"),
+                _col("venue", "TEXT", "city", "venue city"),
+                _col("attendance", "INTEGER", "count", "attendance"),
+                _col("concert_date", "DATE", "date", "concert date"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("album", "singer_id", "singer", "singer_id"),
+            FKSpec("concert", "singer_id", "singer", "singer_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="college",
+        domain="education",
+        tables=(
+            _entity(
+                "student",
+                _col("name", "TEXT", "person_name", "name"),
+                _col("major", "TEXT", "category", "major"),
+                _col("gpa", "REAL", "score", "gpa"),
+                _col("enroll_year", "INTEGER", "year", "enrollment year"),
+                _col("home_city", "TEXT", "city", "home city"),
+            ),
+            _entity(
+                "course",
+                _col("title", "TEXT", "title", "title"),
+                _col("credits", "INTEGER", "small_count", "credits"),
+                _col("department", "TEXT", "category", "department"),
+            ),
+            _entity(
+                "enrollment",
+                _col("student_id", "INTEGER", "fk:student"),
+                _col("course_id", "INTEGER", "fk:course"),
+                _col("grade", "REAL", "score", "grade"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("enrollment", "student_id", "student", "student_id"),
+            FKSpec("enrollment", "course_id", "course", "course_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="airline",
+        domain="travel",
+        tables=(
+            _entity(
+                "airport",
+                _col("name", "TEXT", "title", "name"),
+                _col("city", "TEXT", "city", "city"),
+                _col("country", "TEXT", "country", "country"),
+                _col("runways", "INTEGER", "small_count", "number of runways"),
+            ),
+            _entity(
+                "flight",
+                _col("origin_id", "INTEGER", "fk:airport"),
+                _col("destination_id", "INTEGER", "fk:airport"),
+                _col("distance", "REAL", "amount", "distance"),
+                _col("departure_date", "DATE", "date", "departure date"),
+                _col("status", "TEXT", "status", "status"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("flight", "origin_id", "airport", "airport_id"),
+            FKSpec("flight", "destination_id", "airport", "airport_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="retail",
+        domain="commerce",
+        tables=(
+            _entity(
+                "customer",
+                _col("name", "TEXT", "person_name", "name"),
+                _col("city", "TEXT", "city", "city"),
+                _col("segment", "TEXT", "category", "segment"),
+                _col("signup_date", "DATE", "date", "signup date"),
+            ),
+            _entity(
+                "product",
+                _col("title", "TEXT", "title", "name"),
+                _col("price", "REAL", "amount", "price"),
+                _col("stock", "INTEGER", "count", "stock"),
+                _col("brand", "TEXT", "word", "brand"),
+            ),
+            _entity(
+                "purchase",
+                _col("customer_id", "INTEGER", "fk:customer"),
+                _col("product_id", "INTEGER", "fk:product"),
+                _col("quantity", "INTEGER", "small_count", "quantity"),
+                _col("purchase_date", "DATE", "date", "purchase date"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("purchase", "customer_id", "customer", "customer_id"),
+            FKSpec("purchase", "product_id", "product", "product_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="hospital",
+        domain="health",
+        tables=(
+            _entity(
+                "doctor",
+                _col("name", "TEXT", "person_name", "name"),
+                _col("specialty", "TEXT", "category", "specialty"),
+                _col("salary", "REAL", "amount", "salary"),
+                _col("hire_year", "INTEGER", "year", "hire year"),
+            ),
+            _entity(
+                "patient",
+                _col("name", "TEXT", "person_name", "name"),
+                _col("gender", "TEXT", "gender", "gender", comment="M or F"),
+                _col("city", "TEXT", "city", "city"),
+                _col("birth_year", "INTEGER", "year", "birth year"),
+            ),
+            _entity(
+                "appointment",
+                _col("doctor_id", "INTEGER", "fk:doctor"),
+                _col("patient_id", "INTEGER", "fk:patient"),
+                _col("visit_date", "DATE", "date", "visit date"),
+                _col("fee", "REAL", "amount", "fee"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("appointment", "doctor_id", "doctor", "doctor_id"),
+            FKSpec("appointment", "patient_id", "patient", "patient_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="library",
+        domain="culture",
+        tables=(
+            _entity(
+                "author",
+                _col("name", "TEXT", "person_name", "name"),
+                _col("country", "TEXT", "country", "country"),
+                _col("birth_year", "INTEGER", "year", "birth year"),
+            ),
+            _entity(
+                "book",
+                _col("author_id", "INTEGER", "fk:author"),
+                _col("title", "TEXT", "title", "title"),
+                _col("pages", "INTEGER", "count", "number of pages"),
+                _col("publish_year", "INTEGER", "year", "publication year"),
+                _col("language", "TEXT", "category", "language"),
+            ),
+            _entity(
+                "loan",
+                _col("book_id", "INTEGER", "fk:book"),
+                _col("borrower", "TEXT", "person_name", "borrower name"),
+                _col("loan_date", "DATE", "date", "loan date"),
+                _col("returned", "TEXT", "flag", "returned flag", comment="Y or N"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("book", "author_id", "author", "author_id"),
+            FKSpec("loan", "book_id", "book", "book_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="sports_league",
+        domain="sports",
+        tables=(
+            _entity(
+                "team",
+                _col("name", "TEXT", "title", "name"),
+                _col("city", "TEXT", "city", "city"),
+                _col("founded_year", "INTEGER", "year", "founding year"),
+            ),
+            _entity(
+                "player",
+                _col("team_id", "INTEGER", "fk:team"),
+                _col("name", "TEXT", "person_name", "name"),
+                _col("position", "TEXT", "category", "position"),
+                _col("goals", "INTEGER", "count", "goals scored"),
+                _col("salary", "REAL", "amount", "salary"),
+            ),
+            _entity(
+                "match_game",
+                _col("home_team_id", "INTEGER", "fk:team"),
+                _col("away_team_id", "INTEGER", "fk:team"),
+                _col("home_score", "INTEGER", "small_count", "home score"),
+                _col("away_score", "INTEGER", "small_count", "away score"),
+                _col("match_date", "DATE", "date", "match date"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("player", "team_id", "team", "team_id"),
+            FKSpec("match_game", "home_team_id", "team", "team_id"),
+            FKSpec("match_game", "away_team_id", "team", "team_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="company_hr",
+        domain="business",
+        tables=(
+            _entity(
+                "department",
+                _col("name", "TEXT", "word", "name"),
+                _col("budget", "REAL", "amount", "budget"),
+                _col("location", "TEXT", "city", "location"),
+            ),
+            _entity(
+                "employee",
+                _col("department_id", "INTEGER", "fk:department"),
+                _col("name", "TEXT", "person_name", "name"),
+                _col("salary", "REAL", "amount", "salary"),
+                _col("hire_date", "DATE", "date", "hire date"),
+                _col("title", "TEXT", "category", "job title"),
+            ),
+            _entity(
+                "project",
+                _col("department_id", "INTEGER", "fk:department"),
+                _col("name", "TEXT", "title", "name"),
+                _col("cost", "REAL", "amount", "cost"),
+                _col("status", "TEXT", "status", "status"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("employee", "department_id", "department", "department_id"),
+            FKSpec("project", "department_id", "department", "department_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="restaurant_guide",
+        domain="food",
+        tables=(
+            _entity(
+                "restaurant",
+                _col("name", "TEXT", "title", "name"),
+                _col("city", "TEXT", "city", "city"),
+                _col("cuisine", "TEXT", "category", "cuisine"),
+                _col("rating", "REAL", "score", "rating"),
+            ),
+            _entity(
+                "dish",
+                _col("restaurant_id", "INTEGER", "fk:restaurant"),
+                _col("name", "TEXT", "title", "name"),
+                _col("price", "REAL", "amount", "price"),
+                _col("calories", "INTEGER", "count", "calories"),
+            ),
+            _entity(
+                "review",
+                _col("restaurant_id", "INTEGER", "fk:restaurant"),
+                _col("reviewer", "TEXT", "person_name", "reviewer name"),
+                _col("stars", "INTEGER", "small_count", "stars"),
+                _col("review_date", "DATE", "date", "review date"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("dish", "restaurant_id", "restaurant", "restaurant_id"),
+            FKSpec("review", "restaurant_id", "restaurant", "restaurant_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="cinema_chain",
+        domain="entertainment",
+        tables=(
+            _entity(
+                "movie",
+                _col("title", "TEXT", "title", "title"),
+                _col("director", "TEXT", "person_name", "director name"),
+                _col("release_year", "INTEGER", "year", "release year"),
+                _col("gross", "REAL", "amount", "gross earnings"),
+            ),
+            _entity(
+                "cinema",
+                _col("name", "TEXT", "title", "name"),
+                _col("city", "TEXT", "city", "city"),
+                _col("capacity", "INTEGER", "count", "seating capacity"),
+            ),
+            _entity(
+                "screening",
+                _col("movie_id", "INTEGER", "fk:movie"),
+                _col("cinema_id", "INTEGER", "fk:cinema"),
+                _col("tickets_sold", "INTEGER", "count", "tickets sold"),
+                _col("show_date", "DATE", "date", "show date"),
+            ),
+        ),
+        foreign_keys=(
+            FKSpec("screening", "movie_id", "movie", "movie_id"),
+            FKSpec("screening", "cinema_id", "cinema", "cinema_id"),
+        ),
+    ),
+    DomainBlueprint(
+        name="real_estate",
+        domain="property",
+        tables=(
+            _entity(
+                "agent",
+                _col("name", "TEXT", "person_name", "name"),
+                _col("agency", "TEXT", "word", "agency"),
+                _col("commission", "REAL", "score", "commission rate"),
+            ),
+            _entity(
+                "property",
+                _col("agent_id", "INTEGER", "fk:agent"),
+                _col("address_city", "TEXT", "city", "city"),
+                _col("price", "REAL", "amount", "price"),
+                _col("bedrooms", "INTEGER", "small_count", "number of bedrooms"),
+                _col("listed_date", "DATE", "date", "listing date"),
+                _col("status", "TEXT", "status", "status"),
+            ),
+        ),
+        foreign_keys=(FKSpec("property", "agent_id", "agent", "agent_id"),),
+    ),
+)
+
+
+def blueprint_by_name(name: str) -> DomainBlueprint:
+    for blueprint in BLUEPRINTS:
+        if blueprint.name == name:
+            return blueprint
+    raise KeyError(f"no blueprint named {name!r}")

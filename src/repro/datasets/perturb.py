@@ -1,0 +1,290 @@
+"""Shared perturbation machinery for robustness benchmarks.
+
+Implements the text / schema / content transforms behind Spider-Syn,
+Spider-Realistic, Spider-DK, and the 17 Dr.Spider perturbation sets.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.datasets.base import Text2SQLExample
+
+#: Schema-word synonyms (Spider-Syn / Dr.Spider column-synonym style).
+SCHEMA_SYNONYMS: dict[str, str] = {
+    "name": "full name",
+    "city": "town",
+    "country": "nation",
+    "salary": "pay",
+    "price": "cost",
+    "rating": "score",
+    "title": "heading",
+    "genre": "style",
+    "major": "field of study",
+    "status": "state",
+    "budget": "funds",
+    "attendance": "turnout",
+    "capacity": "size",
+    "distance": "length",
+    "grade": "mark",
+    "stock": "inventory",
+    "segment": "tier",
+    "brand": "maker",
+    "cuisine": "food style",
+    "position": "role",
+    "specialty": "field",
+    "fee": "charge",
+    "gross": "earnings",
+    "pages": "page count",
+    "language": "tongue",
+    "venue": "location",
+    "sales": "revenue",
+    "quantity": "amount",
+    "credits": "credit hours",
+    "department": "division",
+}
+
+#: Question-keyword synonyms (Dr.Spider keyword-synonym).
+KEYWORD_SYNONYMS: dict[str, str] = {
+    "list": "enumerate",
+    "show": "display",
+    "find": "locate",
+    "count": "tally",
+    "give": "provide",
+    "how many": "what is the count of",
+    "what is": "tell me",
+    "which": "what",
+    "sorted": "arranged",
+    "highest": "greatest",
+    "lowest": "smallest",
+    "more than": "exceeding",
+    "less than": "below",
+    "average": "mean",
+    "total": "overall",
+    "different": "unique",
+    "distinct": "unique",
+}
+
+#: Carrier phrases inserted before questions (Dr.Spider keyword-carrier).
+CARRIER_PHRASES = [
+    "Could you tell me",
+    "I would like to know",
+    "Please let me know",
+    "Can you figure out",
+]
+
+#: Domain-knowledge value paraphrases (Spider-DK).
+VALUE_KNOWLEDGE: dict[str, str] = {
+    "F": "female",
+    "M": "male",
+    "Y": "yes",
+    "N": "no",
+    "approved": "successful",
+    "rejected": "unsuccessful",
+    "active": "currently running",
+    "inactive": "no longer running",
+    "gold": "top tier",
+    "premium": "paid tier",
+}
+
+#: Value surface variants (Dr.Spider value-synonym / content-equivalence).
+#: Content-equivalent re-expressions of stored values: the database says
+#: "granted" where the user still says "approved".
+VALUE_VARIANTS: dict[str, str] = {
+    "United States": "USA",
+    "Czech Republic": "Czechia",
+    "South Korea": "Korea",
+    "F": "Female",
+    "M": "Male",
+    "Y": "Yes",
+    "N": "No",
+    "approved": "granted",
+    "rejected": "declined",
+    "active": "live",
+    "inactive": "dormant",
+    "pending": "awaiting",
+    "open": "ongoing",
+    "closed": "finished",
+    "standard": "regular",
+    "premium": "plus",
+    "basic": "entry",
+    "gold": "first class",
+    "silver": "second class",
+    "bronze": "third class",
+}
+
+# Cities re-expressed in their long official form ("Jesenik" is stored
+# as "City of Jesenik"), which pushes the LCS match degree below the
+# retriever's confidence threshold — the sparse-retrieval failure mode
+# the paper reports for DBcontent-equivalence.
+from repro.db.values import CITIES as _CITIES
+
+VALUE_VARIANTS.update({city: f"City of {city}" for city in _CITIES})
+
+
+def _replace_words(text: str, mapping: dict[str, str], rng: random.Random,
+                   probability: float = 1.0) -> str:
+    """Whole-word, case-preserving replacement of mapped phrases.
+
+    All phrases are replaced in a single pass (longest alternatives
+    first inside the pattern), so a replacement's output is never
+    re-matched — "how many" -> "what is the count of" must not cascade
+    into "...the tally of".
+    """
+    if not mapping:
+        return text
+    active = {
+        source: target for source, target in mapping.items()
+        if rng.random() <= probability
+    }
+    if not active:
+        return text
+    # Longest keys first so multi-word phrases win over their prefixes.
+    alternation = "|".join(
+        re.escape(source) for source in sorted(active, key=len, reverse=True)
+    )
+    pattern = re.compile(rf"\b(?:{alternation})\b", re.IGNORECASE)
+    lowered = {source.lower(): target for source, target in active.items()}
+
+    def _swap(match: re.Match) -> str:
+        replacement = lowered[match.group(0).lower()]
+        if match.group(0)[0].isupper():
+            return replacement[0].upper() + replacement[1:]
+        return replacement
+
+    return pattern.sub(_swap, text)
+
+
+def synonym_question(example: Text2SQLExample, rng: random.Random) -> Text2SQLExample:
+    """Spider-Syn: schema words in the question become synonyms."""
+    question = _replace_words(example.question, SCHEMA_SYNONYMS, rng)
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def keyword_synonym_question(
+    example: Text2SQLExample, rng: random.Random
+) -> Text2SQLExample:
+    """Dr.Spider keyword-synonym: question keywords are paraphrased."""
+    question = _replace_words(example.question, KEYWORD_SYNONYMS, rng)
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def carrier_question(example: Text2SQLExample, rng: random.Random) -> Text2SQLExample:
+    """Dr.Spider keyword-carrier: wrap the question in a carrier phrase."""
+    carrier = rng.choice(CARRIER_PHRASES)
+    body = example.question
+    body = body[0].lower() + body[1:] if body else body
+    question = f"{carrier} {body.rstrip('.?')}?"
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def realistic_question(example: Text2SQLExample, rng: random.Random) -> Text2SQLExample:
+    """Spider-Realistic: drop explicit column mentions.
+
+    "List the name of singers whose ..." -> "List the singers whose ..."
+    """
+    question = re.sub(
+        r"\b(the|their)\s+[a-z][a-z ]{1,24}?\s+of\s+(the\s+)?",
+        lambda match: "the ",
+        example.question,
+        count=1,
+        flags=re.IGNORECASE,
+    )
+    question = re.sub(r"\s+", " ", question).strip()
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def domain_knowledge_question(
+    example: Text2SQLExample, rng: random.Random
+) -> Text2SQLExample:
+    """Spider-DK: replace explicit values with domain-knowledge phrasings."""
+    question = _replace_words(example.question, VALUE_KNOWLEDGE, rng)
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def value_synonym_question(
+    example: Text2SQLExample, rng: random.Random
+) -> Text2SQLExample:
+    """Dr.Spider value-synonym: value mentions change surface form."""
+    question = _replace_words(example.question, VALUE_VARIANTS, rng)
+    # Additionally lower-case one capitalized value-like word.
+    words = question.split()
+    candidates = [
+        index for index, word in enumerate(words[1:], start=1)
+        if word[:1].isupper()
+    ]
+    if candidates:
+        index = rng.choice(candidates)
+        words[index] = words[index].lower()
+    return Text2SQLExample(" ".join(words), example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def column_carrier_question(
+    example: Text2SQLExample, rng: random.Random
+) -> Text2SQLExample:
+    """Dr.Spider column-carrier: pad column mentions with carrier words."""
+    question = re.sub(
+        r"\bthe ([a-z][a-z ]{1,20}?) of\b",
+        r"the value of the \1 of",
+        example.question,
+        count=1,
+    )
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def column_value_question(
+    example: Text2SQLExample, rng: random.Random
+) -> Text2SQLExample:
+    """Dr.Spider column-value: drop the column name before a value."""
+    question = re.sub(
+        r"\b(whose|with|where the|with a)\s+[a-z][a-z ]{1,20}?\s+(is|equals|of)\s+",
+        r"\1 ",
+        example.question,
+        count=1,
+        flags=re.IGNORECASE,
+    )
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+#: Column phrase -> indirect attribute phrasing (Dr.Spider column-attribute).
+ATTRIBUTE_MAP: dict[str, str] = {
+    "salary": "how well paid they are",
+    "price": "how expensive it is",
+    "rating": "how highly rated it is",
+    "attendance": "how well attended it was",
+    "birth year": "how long ago they were born",
+    "gpa": "how strong their results are",
+    "capacity": "how big it is",
+    "distance": "how far it goes",
+}
+
+
+def column_attribute_question(
+    example: Text2SQLExample, rng: random.Random
+) -> Text2SQLExample:
+    """Dr.Spider column-attribute: columns referenced via attributes."""
+    question = _replace_words(example.question, ATTRIBUTE_MAP, rng)
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)
+
+
+def multitype_question(example: Text2SQLExample, rng: random.Random) -> Text2SQLExample:
+    """Dr.Spider multitype: compose two perturbations."""
+    first = synonym_question(example, rng)
+    return keyword_synonym_question(first, rng)
+
+
+def others_question(example: Text2SQLExample, rng: random.Random) -> Text2SQLExample:
+    """Dr.Spider 'others': mild paraphrase (light keyword swap)."""
+    question = _replace_words(example.question, KEYWORD_SYNONYMS, rng, probability=0.3)
+    return Text2SQLExample(question, example.sql, example.db_id,
+                           example.external_knowledge)

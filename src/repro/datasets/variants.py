@@ -1,0 +1,57 @@
+"""Spider variants: Spider-Syn, Spider-Realistic, Spider-DK (§9.1.1).
+
+Each variant shares Spider's databases but perturbs the dev questions
+to mimic real-world phrasing shifts; models are trained on the original
+Spider training set and evaluated on the perturbed dev sets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.datasets.base import Text2SQLDataset, Text2SQLExample
+from repro.datasets.perturb import (
+    domain_knowledge_question,
+    realistic_question,
+    synonym_question,
+)
+from repro.datasets.spider import SpiderConfig, build_spider
+from repro.errors import DatasetError
+
+_PERTURBERS: dict[str, Callable[[Text2SQLExample, random.Random], Text2SQLExample]] = {
+    "spider-syn": synonym_question,
+    "spider-realistic": realistic_question,
+    "spider-dk": domain_knowledge_question,
+}
+
+#: Names of the supported Spider variants.
+SPIDER_VARIANTS = tuple(_PERTURBERS)
+
+
+def build_spider_variant(
+    name: str,
+    spider: Text2SQLDataset | None = None,
+    seed: int = 0,
+    config: SpiderConfig | None = None,
+) -> Text2SQLDataset:
+    """Build one Spider variant from an (optionally shared) Spider build.
+
+    The returned dataset reuses Spider's databases and training split;
+    only the dev questions are perturbed.
+    """
+    if name not in _PERTURBERS:
+        raise DatasetError(
+            f"unknown variant {name!r}; expected one of {sorted(_PERTURBERS)}"
+        )
+    spider = spider or build_spider(config)
+    rng = random.Random(f"{name}:{seed}")
+    perturb = _PERTURBERS[name]
+    dev = [perturb(example, rng) for example in spider.dev]
+    return Text2SQLDataset(
+        name=name,
+        databases=spider.databases,
+        train=spider.train,
+        dev=dev,
+        generated=spider.generated,
+    )

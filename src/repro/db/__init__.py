@@ -1,0 +1,14 @@
+"""Database substrate: schemas, SQLite-backed databases, value sampling."""
+
+from repro.db.schema import Column, ForeignKey, Schema, Table
+from repro.db.database import Database
+from repro.db.values import ValueGenerator
+
+__all__ = [
+    "Column",
+    "Database",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "ValueGenerator",
+]

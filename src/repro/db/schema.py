@@ -1,0 +1,156 @@
+"""Schema model: tables, columns, keys, and comments.
+
+SQLite has no native column comments, so comments live here, alongside
+the structural metadata, exactly as the paper assumes databases "usually
+provide informative comments for ambiguous schema" (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+#: Column types the synthetic databases use (SQLite affinity names).
+VALID_TYPES = frozenset({"INTEGER", "REAL", "TEXT", "DATE"})
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column with its type, optional comment, and PK flag."""
+
+    name: str
+    type: str = "TEXT"
+    comment: str = ""
+    is_primary: bool = False
+
+    def __post_init__(self) -> None:
+        if self.type.upper() not in VALID_TYPES:
+            raise SchemaError(f"unsupported column type {self.type!r} for {self.name!r}")
+
+    @property
+    def sqlite_type(self) -> str:
+        """Storage type used in CREATE TABLE (DATE stored as TEXT)."""
+        return "TEXT" if self.type.upper() == "DATE" else self.type.upper()
+
+
+@dataclass(frozen=True)
+class Table:
+    """One table with ordered columns and an optional comment."""
+
+    name: str
+    columns: tuple[Column, ...]
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} has no columns")
+        seen: set[str] = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in {self.name!r}")
+            seen.add(lowered)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by case-insensitive name."""
+        for column in self.columns:
+            if column.name.lower() == name.lower():
+                return column
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name.lower() == name.lower() for column in self.columns)
+
+    @property
+    def primary_key(self) -> Column | None:
+        for column in self.columns:
+            if column.is_primary:
+                return column
+        return None
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``src_table.src_column`` references ``dst_table.dst_column``."""
+
+    src_table: str
+    src_column: str
+    dst_table: str
+    dst_column: str
+
+    def render(self) -> str:
+        return (
+            f"{self.src_table}.{self.src_column} = "
+            f"{self.dst_table}.{self.dst_column}"
+        )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A complete database schema."""
+
+    name: str
+    tables: tuple[Table, ...]
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    domain: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise SchemaError(f"schema {self.name!r} has no tables")
+        names = [table.name.lower() for table in self.tables]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate table names in schema {self.name!r}")
+        for fkey in self.foreign_keys:
+            src = self.table(fkey.src_table)
+            dst = self.table(fkey.dst_table)
+            if not src.has_column(fkey.src_column):
+                raise SchemaError(f"foreign key source missing: {fkey.render()}")
+            if not dst.has_column(fkey.dst_column):
+                raise SchemaError(f"foreign key target missing: {fkey.render()}")
+
+    def table(self, name: str) -> Table:
+        """Look up a table by case-insensitive name."""
+        for table in self.tables:
+            if table.name.lower() == name.lower():
+                return table
+        raise SchemaError(f"no table {name!r} in schema {self.name!r}")
+
+    def has_table(self, name: str) -> bool:
+        return any(table.name.lower() == name.lower() for table in self.tables)
+
+    def column_keys(self) -> list[str]:
+        """All ``table.column`` keys in schema order (lower-cased)."""
+        keys: list[str] = []
+        for table in self.tables:
+            for column in table.columns:
+                keys.append(f"{table.name.lower()}.{column.name.lower()}")
+        return keys
+
+    def foreign_keys_of(self, table_name: str) -> list[ForeignKey]:
+        """Foreign keys touching ``table_name`` on either side."""
+        lowered = table_name.lower()
+        return [
+            fkey
+            for fkey in self.foreign_keys
+            if lowered in (fkey.src_table.lower(), fkey.dst_table.lower())
+        ]
+
+    def join_edge(self, left_table: str, right_table: str) -> ForeignKey | None:
+        """The FK connecting two tables, if any (either direction)."""
+        left = left_table.lower()
+        right = right_table.lower()
+        for fkey in self.foreign_keys:
+            pair = (fkey.src_table.lower(), fkey.dst_table.lower())
+            if pair in ((left, right), (right, left)):
+                return fkey
+        return None
+
+    def rename(self, name: str) -> "Schema":
+        """Copy of this schema under a different name."""
+        return Schema(
+            name=name,
+            tables=self.tables,
+            foreign_keys=self.foreign_keys,
+            domain=self.domain,
+        )

@@ -1,0 +1,125 @@
+"""Deterministic generators for realistic database values.
+
+Benchmark databases need plausible content — person names, cities,
+dates, categories, free text — so that the value retriever, the BM25
+index, and the EX/TS metrics are exercised on realistic strings.
+All generation is driven by a seeded :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+FIRST_NAMES = [
+    "Sarah", "James", "Maria", "David", "Anna", "Robert", "Linda", "Wei",
+    "Elena", "Omar", "Lucia", "Ivan", "Mei", "Carlos", "Fatima", "John",
+    "Petra", "Ahmed", "Julia", "Kenji", "Amara", "Pavel", "Nina", "Hugo",
+    "Clara", "Tomas", "Leila", "Viktor", "Rosa", "Daniel",
+]
+
+LAST_NAMES = [
+    "Martinez", "Smith", "Johnson", "Chen", "Garcia", "Novak", "Kim",
+    "Brown", "Silva", "Tanaka", "Kowalski", "Ali", "Petrov", "Larsen",
+    "Okafor", "Dubois", "Ricci", "Haddad", "Yilmaz", "Svensson",
+    "Fischer", "Moreau", "Santos", "Ivanov", "Nakamura", "Olsen",
+]
+
+CITIES = [
+    "Jesenik", "Prague", "Boston", "Kyoto", "Lagos", "Lima", "Oslo",
+    "Porto", "Graz", "Basel", "Leeds", "Ghent", "Turin", "Malmo",
+    "Quito", "Hanoi", "Perth", "Davao", "Tunis", "Varna",
+]
+
+COUNTRIES = [
+    "United States", "Canada", "France", "Japan", "Brazil", "Nigeria",
+    "Czech Republic", "Norway", "Vietnam", "Australia", "Germany",
+    "Mexico", "India", "South Korea", "Italy", "Spain",
+]
+
+WORDS = [
+    "alpha", "harbor", "crimson", "lattice", "meadow", "quartz", "ember",
+    "willow", "summit", "cascade", "orchid", "falcon", "granite", "velvet",
+    "cobalt", "maple", "onyx", "prairie", "saffron", "tundra", "zephyr",
+    "birch", "canyon", "delta", "fjord", "glacier", "horizon", "island",
+]
+
+CATEGORIES = [
+    "gold", "silver", "bronze", "standard", "premium", "basic", "active",
+    "inactive", "pending", "approved", "rejected", "open", "closed",
+]
+
+
+class ValueGenerator:
+    """Seeded factory for plausible column values."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def person_name(self) -> str:
+        return f"{self._rng.choice(FIRST_NAMES)} {self._rng.choice(LAST_NAMES)}"
+
+    def first_name(self) -> str:
+        return self._rng.choice(FIRST_NAMES)
+
+    def city(self) -> str:
+        return self._rng.choice(CITIES)
+
+    def country(self) -> str:
+        return self._rng.choice(COUNTRIES)
+
+    def word(self) -> str:
+        return self._rng.choice(WORDS)
+
+    def phrase(self, length: int = 3) -> str:
+        return " ".join(self._rng.choice(WORDS) for _ in range(length))
+
+    def title(self, length: int = 3) -> str:
+        return self.phrase(length).title()
+
+    def category(self) -> str:
+        return self._rng.choice(CATEGORIES)
+
+    def gender(self) -> str:
+        return self._rng.choice(["M", "F"])
+
+    def date(self, start_year: int = 1990, end_year: int = 2023) -> str:
+        year = self._rng.randint(start_year, end_year)
+        month = self._rng.randint(1, 12)
+        day = self._rng.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def year(self, start: int = 1940, end: int = 2023) -> int:
+        return self._rng.randint(start, end)
+
+    def integer(self, low: int = 0, high: int = 1000) -> int:
+        return self._rng.randint(low, high)
+
+    def amount(self, low: float = 10.0, high: float = 100_000.0) -> float:
+        return round(self._rng.uniform(low, high), 2)
+
+    def code(self, prefix: str = "C", width: int = 5) -> str:
+        return f"{prefix}{self._rng.randint(0, 10 ** width - 1):0{width}d}"
+
+    def email(self) -> str:
+        name = self._rng.choice(FIRST_NAMES).lower()
+        host = self._rng.choice(WORDS)
+        return f"{name}@{host}.example"
+
+    def boolean_flag(self) -> str:
+        return self._rng.choice(["Y", "N"])
+
+    def choice(self, options: list[Any]) -> Any:
+        return self._rng.choice(options)
+
+    def sample(self, options: list[Any], k: int) -> list[Any]:
+        return self._rng.sample(options, min(k, len(options)))
+
+    def shuffle(self, items: list[Any]) -> None:
+        self._rng.shuffle(items)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)

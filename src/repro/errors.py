@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming mistakes such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised when a SQL string cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, sql: str = "", position: int = -1):
+        super().__init__(message)
+        self.sql = sql
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """Raised for malformed or inconsistent database schemas."""
+
+
+class ExecutionError(ReproError):
+    """Raised when executing a SQL query against a database fails."""
+
+
+class PromptBudgetError(ReproError):
+    """Raised when a prompt cannot fit the model's context budget."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training routine receives unusable inputs."""
+
+
+class GenerationError(ReproError):
+    """Raised when the parser cannot produce any SQL candidate."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be built or loaded."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a model checkpoint name or file is invalid."""

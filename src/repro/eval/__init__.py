@@ -1,0 +1,23 @@
+"""Evaluation: execution accuracy, test-suite accuracy, VES, AUC."""
+
+from repro.eval.metrics import roc_auc, results_match
+from repro.eval.execution import execution_accuracy, execution_match
+from repro.eval.testsuite import TestSuite, test_suite_accuracy
+from repro.eval.ves import valid_efficiency_score
+from repro.eval.harness import EvalResult, evaluate_parser, pair_samples
+from repro.eval.reporting import format_table, print_table
+
+__all__ = [
+    "EvalResult",
+    "TestSuite",
+    "evaluate_parser",
+    "execution_accuracy",
+    "execution_match",
+    "format_table",
+    "pair_samples",
+    "print_table",
+    "results_match",
+    "roc_auc",
+    "test_suite_accuracy",
+    "valid_efficiency_score",
+]

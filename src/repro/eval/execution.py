@@ -1,0 +1,40 @@
+"""Execution accuracy (EX): do two queries return the same result?"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.db.database import Database
+from repro.errors import ExecutionError
+from repro.eval.metrics import results_match
+
+_ORDER_BY_RE = re.compile(r"\border\s+by\b", re.IGNORECASE)
+
+
+def execution_match(database: Database, predicted_sql: str, gold_sql: str) -> bool:
+    """True when the two queries produce the same result on ``database``.
+
+    An unexecutable prediction counts as a miss; an unexecutable gold
+    query raises, because that indicates a broken benchmark.
+    """
+    gold_rows = database.execute(gold_sql)
+    try:
+        predicted_rows = database.execute(predicted_sql)
+    except ExecutionError:
+        return False
+    ordered = bool(_ORDER_BY_RE.search(gold_sql))
+    return results_match(predicted_rows, gold_rows, ordered=ordered)
+
+
+def execution_accuracy(
+    database_pairs: Sequence[tuple[Database, str, str]],
+) -> float:
+    """Mean EX over ``(database, predicted_sql, gold_sql)`` triples."""
+    if not database_pairs:
+        return 0.0
+    hits = sum(
+        1 for database, predicted, gold in database_pairs
+        if execution_match(database, predicted, gold)
+    )
+    return hits / len(database_pairs)

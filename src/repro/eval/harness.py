@@ -1,0 +1,137 @@
+"""End-to-end evaluation harness: run a parser over a benchmark split."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.datasets.base import Text2SQLDataset, Text2SQLExample
+from repro.db.database import Database
+from repro.errors import GenerationError
+from repro.eval.execution import execution_match
+from repro.eval.testsuite import TestSuite
+from repro.eval.ves import valid_efficiency_score
+
+
+class SQLGenerator(Protocol):
+    """Anything that maps (question, database) to SQL."""
+
+    def generate(self, question: str, database: Database, **kwargs):  # pragma: no cover
+        ...
+
+
+@dataclass
+class EvalResult:
+    """Aggregate metrics of one evaluation run."""
+
+    name: str
+    n_examples: int
+    ex: float
+    ts: float | None = None
+    ves: float | None = None
+    mean_latency_s: float = 0.0
+    predictions: list[str] = field(default_factory=list, repr=False)
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "name": self.name,
+            "n": self.n_examples,
+            "EX%": round(100 * self.ex, 1),
+        }
+        if self.ts is not None:
+            row["TS%"] = round(100 * self.ts, 1)
+        if self.ves is not None:
+            row["VES%"] = round(100 * self.ves, 1)
+        row["latency_s"] = round(self.mean_latency_s, 3)
+        return row
+
+
+def evaluate_parser(
+    parser,
+    dataset: Text2SQLDataset,
+    split: str = "dev",
+    demonstrations_per_question: int | None = None,
+    demonstration_retriever=None,
+    use_external_knowledge: bool = False,
+    compute_ts: bool = False,
+    ts_variants: int = 3,
+    suites: dict[str, TestSuite] | None = None,
+    compute_ves: bool = False,
+    ves_runs: int = 3,
+    limit: int | None = None,
+    name: str = "",
+) -> EvalResult:
+    """Evaluate ``parser`` on one split of ``dataset``.
+
+    ``demonstrations_per_question`` switches the protocol: ``None``
+    runs supervised (the parser must be fitted), ``0`` runs zero-shot
+    prompting, and ``k > 0`` runs k-shot ICL via the required
+    ``demonstration_retriever``.  External knowledge, when enabled, is
+    appended to the question exactly as the paper does for BIRD w/ EK.
+    """
+    examples = dataset.dev if split == "dev" else dataset.train
+    if limit is not None:
+        examples = examples[:limit]
+    fewshot = demonstrations_per_question is not None
+    if fewshot and demonstrations_per_question > 0 and demonstration_retriever is None:
+        raise ValueError("few-shot evaluation needs a demonstration retriever")
+
+    suites = suites if suites is not None else {}
+    hits = 0
+    ts_hits = 0
+    ves_total = 0.0
+    latencies: list[float] = []
+    predictions: list[str] = []
+
+    for example in examples:
+        database = dataset.database_of(example)
+        kwargs: dict[str, object] = {}
+        if use_external_knowledge and example.external_knowledge:
+            kwargs["external_knowledge"] = example.external_knowledge
+        if fewshot:
+            if demonstrations_per_question > 0:
+                scored = demonstration_retriever.retrieve(
+                    example.question, k=demonstrations_per_question
+                )
+                kwargs["demonstrations"] = [entry.example for entry in scored]
+            else:
+                kwargs["demonstrations"] = []
+        start = time.perf_counter()
+        try:
+            result = parser.generate(example.question, database, **kwargs)
+            predicted = result.sql
+        except GenerationError:
+            predicted = "SELECT 1"
+        latencies.append(time.perf_counter() - start)
+        predictions.append(predicted)
+
+        correct = execution_match(database, predicted, example.sql)
+        hits += int(correct)
+        if compute_ts:
+            if example.db_id not in suites:
+                suites[example.db_id] = TestSuite(database, n_variants=ts_variants)
+            ts_hits += int(suites[example.db_id].check(predicted, example.sql))
+        if compute_ves:
+            ves_total += valid_efficiency_score(
+                database, predicted, example.sql, runs=ves_runs
+            )
+
+    count = max(1, len(examples))
+    return EvalResult(
+        name=name or dataset.name,
+        n_examples=len(examples),
+        ex=hits / count,
+        ts=(ts_hits / count) if compute_ts else None,
+        ves=(ves_total / count) if compute_ves else None,
+        mean_latency_s=sum(latencies) / count if latencies else 0.0,
+        predictions=predictions,
+    )
+
+
+def pair_samples(
+    dataset: Text2SQLDataset, split: str = "train"
+) -> list[tuple[Text2SQLExample, Database]]:
+    """(example, database) pairs for parser fine-tuning."""
+    examples = dataset.train if split == "train" else dataset.dev
+    return [(example, dataset.database_of(example)) for example in examples]

@@ -1,0 +1,74 @@
+"""Metric primitives: result-set comparison and ROC AUC."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+Row = tuple[Any, ...]
+
+
+def _canonical_cell(cell: Any) -> Any:
+    """Normalize a cell so 1 == 1.0 and floats compare with tolerance."""
+    if isinstance(cell, bool):
+        return int(cell)
+    if isinstance(cell, float):
+        if cell.is_integer():
+            return int(cell)
+        return round(cell, 6)
+    return cell
+
+
+def _canonical_row(row: Row) -> Row:
+    return tuple(_canonical_cell(cell) for cell in row)
+
+
+def results_match(
+    predicted: Sequence[Row], gold: Sequence[Row], ordered: bool = False
+) -> bool:
+    """Compare two result sets.
+
+    When ``ordered`` is False (the common case — no ORDER BY in the gold
+    query) rows are compared as multisets; otherwise order matters.
+    """
+    pred_rows = [_canonical_row(row) for row in predicted]
+    gold_rows = [_canonical_row(row) for row in gold]
+    if ordered:
+        return pred_rows == gold_rows
+    return Counter(pred_rows) == Counter(gold_rows)
+
+
+def roc_auc(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Ties in scores contribute half.  Returns 0.5 when only one class is
+    present (no ranking information).
+    """
+    labels_arr = np.asarray(labels, dtype=np.float64)
+    scores_arr = np.asarray(scores, dtype=np.float64)
+    if labels_arr.shape != scores_arr.shape:
+        raise ValueError("labels and scores must have the same length")
+    positives = int(np.sum(labels_arr == 1))
+    negatives = int(np.sum(labels_arr == 0))
+    if positives == 0 or negatives == 0:
+        return 0.5
+    order = np.argsort(scores_arr, kind="mergesort")
+    ranks = np.empty(len(scores_arr), dtype=np.float64)
+    sorted_scores = scores_arr[order]
+    i = 0
+    rank_position = 1.0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        mean_rank = (rank_position + rank_position + (j - i)) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        rank_position += j - i + 1
+        i = j + 1
+    positive_rank_sum = float(np.sum(ranks[labels_arr == 1]))
+    return (positive_rank_sum - positives * (positives + 1) / 2.0) / (
+        positives * negatives
+    )

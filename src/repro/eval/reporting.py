@@ -1,0 +1,47 @@
+"""Plain-text tables for benchmark output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
+    """Render rows of dicts as an aligned text table.
+
+    Column order follows the first row; missing cells render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [
+        [_cell(row.get(column, "-")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[dict[str, Any]], title: str = "") -> None:
+    print()
+    print(format_table(rows, title=title))
+    print()
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,14 @@
+"""Schema linking: feature extraction, item classifier, schema filter."""
+
+from repro.linking.features import SchemaFeatureExtractor, FEATURE_DIM
+from repro.linking.classifier import SchemaItemClassifier, SchemaScores
+from repro.linking.schema_filter import FilteredSchema, SchemaFilter
+
+__all__ = [
+    "FEATURE_DIM",
+    "FilteredSchema",
+    "SchemaFeatureExtractor",
+    "SchemaFilter",
+    "SchemaItemClassifier",
+    "SchemaScores",
+]

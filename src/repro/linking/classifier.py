@@ -1,0 +1,182 @@
+"""The schema-item classifier (§6.1).
+
+A compact MLP predicts, per table and per column, the probability that
+the item is needed to answer the question.  Labels for training come
+straight from the gold SQL (the tables/columns it references), exactly
+as in RESDSQL [36] which the paper follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.errors import SQLSyntaxError, TrainingError
+from repro.eval.metrics import roc_auc
+from repro.linking.features import FEATURE_DIM, SchemaFeatureExtractor
+from repro.nn.mlp import MLPClassifier
+from repro.retrieval.value_retriever import MatchedValue
+from repro.sqlgen.parser import parse_sql
+
+
+@dataclass(frozen=True)
+class LinkingExample:
+    """One supervised schema-linking example."""
+
+    question: str
+    schema: Schema
+    gold_tables: frozenset[str]
+    gold_columns: frozenset[str]
+    matched_values: tuple[MatchedValue, ...] = ()
+
+    @classmethod
+    def from_sql(
+        cls,
+        question: str,
+        schema: Schema,
+        sql: str,
+        matched_values: tuple[MatchedValue, ...] = (),
+    ) -> "LinkingExample":
+        """Derive gold table/column labels from the gold SQL query."""
+        from repro.sqlgen.transform import qualify_columns
+
+        try:
+            query = qualify_columns(parse_sql(sql))
+        except SQLSyntaxError as exc:
+            raise TrainingError(f"gold SQL unparseable: {sql!r}") from exc
+        return cls(
+            question=question,
+            schema=schema,
+            gold_tables=frozenset(query.tables_used()),
+            gold_columns=frozenset(query.columns_used()),
+            matched_values=matched_values,
+        )
+
+
+@dataclass(frozen=True)
+class SchemaScores:
+    """Relevance scores for every table and column of one schema."""
+
+    tables: dict[str, float]
+    columns: dict[str, float]
+
+    def top_tables(self, k: int) -> list[str]:
+        ranked = sorted(self.tables.items(), key=lambda item: (-item[1], item[0]))
+        return [name for name, _ in ranked[:k]]
+
+    def top_columns(self, table_name: str, k: int) -> list[str]:
+        prefix = table_name.lower() + "."
+        ranked = sorted(
+            (
+                (key.split(".", 1)[1], score)
+                for key, score in self.columns.items()
+                if key.startswith(prefix)
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return [name for name, _ in ranked[:k]]
+
+
+class SchemaItemClassifier:
+    """MLP over schema-linking features, one shared model for tables+columns."""
+
+    def __init__(
+        self,
+        extractor: SchemaFeatureExtractor | None = None,
+        hidden_dim: int = 16,
+        seed: int = 0,
+    ):
+        self.extractor = extractor or SchemaFeatureExtractor()
+        self.model = MLPClassifier(FEATURE_DIM, hidden_dim=hidden_dim, seed=seed)
+        self.trained = False
+
+    # -- training -----------------------------------------------------------
+
+    def _build_training_matrix(
+        self, examples: list[LinkingExample]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows: list[np.ndarray] = []
+        labels: list[float] = []
+        for example in examples:
+            matched = list(example.matched_values)
+            for table in example.schema.tables:
+                rows.append(self.extractor.table_features(example.question, table))
+                labels.append(float(table.name.lower() in example.gold_tables))
+                for column in table.columns:
+                    rows.append(
+                        self.extractor.column_features(
+                            example.question, table, column, matched
+                        )
+                    )
+                    key = f"{table.name.lower()}.{column.name.lower()}"
+                    labels.append(float(key in example.gold_columns))
+        if not rows:
+            raise TrainingError("no schema items found in the training examples")
+        return np.stack(rows), np.array(labels)
+
+    def fit(
+        self,
+        examples: list[LinkingExample],
+        epochs: int = 40,
+        lr: float = 0.01,
+        seed: int = 0,
+    ) -> list[float]:
+        """Train on supervised examples; returns the loss curve."""
+        features, labels = self._build_training_matrix(examples)
+        history = self.model.fit(features, labels, epochs=epochs, lr=lr, seed=seed)
+        self.trained = True
+        return history
+
+    # -- inference ----------------------------------------------------------
+
+    def score_schema(
+        self,
+        question: str,
+        schema: Schema,
+        matched_values: list[MatchedValue] | None = None,
+    ) -> SchemaScores:
+        """Relevance scores for every table and column."""
+        table_rows: list[np.ndarray] = []
+        column_rows: list[np.ndarray] = []
+        table_names: list[str] = []
+        column_keys: list[str] = []
+        matched = list(matched_values or ())
+        for table in schema.tables:
+            table_rows.append(self.extractor.table_features(question, table))
+            table_names.append(table.name.lower())
+            for column in table.columns:
+                column_rows.append(
+                    self.extractor.column_features(question, table, column, matched)
+                )
+                column_keys.append(f"{table.name.lower()}.{column.name.lower()}")
+        table_scores = self.model.predict_proba(np.stack(table_rows))
+        column_scores = self.model.predict_proba(np.stack(column_rows))
+        return SchemaScores(
+            tables=dict(zip(table_names, table_scores.tolist())),
+            columns=dict(zip(column_keys, column_scores.tolist())),
+        )
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate_auc(self, examples: list[LinkingExample]) -> tuple[float, float]:
+        """(table AUC, column AUC) on held-out examples — Table 3's metric."""
+        table_labels: list[int] = []
+        table_scores: list[float] = []
+        column_labels: list[int] = []
+        column_scores: list[float] = []
+        for example in examples:
+            scores = self.score_schema(
+                example.question, example.schema, list(example.matched_values)
+            )
+            for name, score in scores.tables.items():
+                table_labels.append(int(name in example.gold_tables))
+                table_scores.append(score)
+            for key, score in scores.columns.items():
+                column_labels.append(int(key in example.gold_columns))
+                column_scores.append(score)
+        return (
+            roc_auc(table_labels, table_scores),
+            roc_auc(column_labels, column_scores),
+        )

@@ -1,0 +1,82 @@
+"""Features for the schema-item classifier.
+
+Each (question, schema item) pair maps to a fixed-size vector of
+lexical and semantic signals.  Comments enter the features exactly as
+the paper prescribes for ambiguous schemas (§6.3): when a column name
+like ``a2`` says nothing, its comment ("district name") still overlaps
+with the question.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.schema import Column, Table
+from repro.retrieval.lcs import lcs_match_degree
+from repro.retrieval.value_retriever import MatchedValue
+from repro.text.embedder import HashedNgramEmbedder
+from repro.text.similarity import jaccard_similarity, token_overlap
+from repro.text.tokenize import sentence_tokens
+
+#: Size of the feature vector produced per schema item.
+FEATURE_DIM = 11
+
+
+def _readable(name: str) -> str:
+    return name.replace("_", " ")
+
+
+class SchemaFeatureExtractor:
+    """Turns (question, table/column) pairs into feature vectors."""
+
+    def __init__(self, embedder: HashedNgramEmbedder | None = None,
+                 use_comments: bool = True):
+        self.embedder = embedder or HashedNgramEmbedder(dim=128)
+        self.use_comments = use_comments
+
+    def _name_features(self, question: str, name: str, comment: str) -> list[float]:
+        readable = _readable(name)
+        question_tokens = set(sentence_tokens(question))
+        name_tokens = set(sentence_tokens(readable))
+        exact_mention = float(
+            bool(name_tokens) and name_tokens <= question_tokens
+        )
+        comment_text = comment if self.use_comments else ""
+        return [
+            token_overlap(question, readable),
+            jaccard_similarity(question, readable),
+            self.embedder.similarity(question, readable),
+            token_overlap(question, comment_text) if comment_text else 0.0,
+            self.embedder.similarity(question, comment_text) if comment_text else 0.0,
+            exact_mention,
+            lcs_match_degree(question.lower(), readable.lower()),
+            min(len(readable), 20) / 20.0,
+        ]
+
+    def table_features(self, question: str, table: Table) -> np.ndarray:
+        """Feature vector for one table."""
+        base = self._name_features(question, table.name, table.comment)
+        column_overlaps = [
+            token_overlap(question, _readable(column.name))
+            for column in table.columns
+        ]
+        best_column = max(column_overlaps) if column_overlaps else 0.0
+        return np.array([*base, 1.0, best_column, 1.0], dtype=np.float64)
+
+    def column_features(
+        self,
+        question: str,
+        table: Table,
+        column: Column,
+        matched_values: list[MatchedValue] | None = None,
+    ) -> np.ndarray:
+        """Feature vector for one column (optionally value-aware)."""
+        base = self._name_features(question, column.name, column.comment)
+        value_hit = 0.0
+        for match in matched_values or ():
+            if (
+                match.table.lower() == table.name.lower()
+                and match.column.lower() == column.name.lower()
+            ):
+                value_hit = max(value_hit, match.degree)
+        return np.array([*base, 0.0, value_hit, 1.0], dtype=np.float64)

@@ -1,0 +1,50 @@
+"""Untrained (lexical) schema scoring.
+
+Few-shot in-context learning uses no fine-tuned schema classifier; the
+model must link schema items from surface evidence alone.  This scorer
+combines the same features the classifier consumes with fixed weights,
+so the ICL pipeline has a deterministic, training-free ranking whose
+sharpness still scales with the embedder width (a model-tier knob).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.linking.classifier import SchemaScores
+from repro.linking.features import SchemaFeatureExtractor
+from repro.retrieval.value_retriever import MatchedValue
+
+#: Fixed feature weights: overlap and exact mentions dominate; comments
+#: and value hits break ties; the trailing bias is ignored.
+_WEIGHTS = np.array(
+    [1.0, 0.6, 0.8, 0.7, 0.5, 1.2, 0.6, 0.0, 0.1, 0.9, 0.0]
+)
+
+
+class LexicalSchemaScorer:
+    """Fixed-weight scorer over schema-linking features."""
+
+    def __init__(self, extractor: SchemaFeatureExtractor | None = None):
+        self.extractor = extractor or SchemaFeatureExtractor()
+
+    def score_schema(
+        self,
+        question: str,
+        schema: Schema,
+        matched_values: list[MatchedValue] | None = None,
+    ) -> SchemaScores:
+        matched = list(matched_values or ())
+        tables: dict[str, float] = {}
+        columns: dict[str, float] = {}
+        for table in schema.tables:
+            features = self.extractor.table_features(question, table)
+            tables[table.name.lower()] = float(features @ _WEIGHTS)
+            for column in table.columns:
+                features = self.extractor.column_features(
+                    question, table, column, matched
+                )
+                key = f"{table.name.lower()}.{column.name.lower()}"
+                columns[key] = float(features @ _WEIGHTS)
+        return SchemaScores(tables=tables, columns=columns)

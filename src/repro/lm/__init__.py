@@ -1,0 +1,39 @@
+"""Language models: tokenizer, n-gram LM, numpy transformer, pre-training.
+
+The paper incrementally pre-trains StarCoder checkpoints on a curated
+SQL-centric corpus.  Offline, this package provides:
+
+- :class:`CodeTokenizer` / :class:`Vocabulary` — a deterministic
+  code-aware tokenizer with a capped vocabulary;
+- :class:`NgramLanguageModel` — an interpolated n-gram LM used as the
+  fast SQL prior inside the parser's candidate ranker;
+- :class:`TransformerLM` — a from-scratch decoder-only transformer with
+  multi-query attention and learned absolute position embeddings,
+  trained with AdamW + cosine decay (§5.2's recipe at laptop scale);
+- corpus generators for the three pre-training slices (SQL-related,
+  NL-related, NL-to-code) and the incremental pre-training driver.
+"""
+
+from repro.lm.vocab import CodeTokenizer, Vocabulary
+from repro.lm.ngram import NgramLanguageModel
+from repro.lm.transformer import TransformerConfig, TransformerLM
+from repro.lm.corpus import CorpusConfig, PretrainCorpus, build_corpus
+from repro.lm.pretrain import (
+    IncrementalPretrainer,
+    PretrainedLM,
+    pretrain_base_lm,
+)
+
+__all__ = [
+    "CodeTokenizer",
+    "CorpusConfig",
+    "IncrementalPretrainer",
+    "NgramLanguageModel",
+    "PretrainCorpus",
+    "PretrainedLM",
+    "TransformerConfig",
+    "TransformerLM",
+    "Vocabulary",
+    "build_corpus",
+    "pretrain_base_lm",
+]

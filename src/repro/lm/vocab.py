@@ -1,0 +1,126 @@
+"""Code-aware tokenizer and capped vocabulary."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+from repro.errors import TrainingError
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"      # identifiers / keywords
+    r"|\d+(?:\.\d+)?"               # numbers
+    r"|'[^'\n]*'|\"[^\"\n]*\""      # string literals
+    r"|[<>!=]=|\|\||<>"             # two-char operators
+    r"|[^\sA-Za-z0-9_]"             # single punctuation
+)
+
+PAD, UNK, BOS, EOS = "<pad>", "<unk>", "<bos>", "<eos>"
+SPECIAL_TOKENS = (PAD, UNK, BOS, EOS)
+
+
+class CodeTokenizer:
+    """Regex tokenizer shared by the n-gram LM and the transformer."""
+
+    def tokenize(self, text: str) -> list[str]:
+        """Lower-cased code tokens; string literals collapse to a slot.
+
+        Collapsing literal contents keeps the vocabulary small and makes
+        the LM score SQL *structure*, which is what candidate ranking
+        needs.
+        """
+        tokens: list[str] = []
+        for raw in _TOKEN_RE.findall(text):
+            if raw.startswith(("'", '"')):
+                tokens.append("<str>")
+            elif raw[0].isdigit():
+                tokens.append("<num>")
+            else:
+                tokens.append(raw.lower())
+        return tokens
+
+
+class Vocabulary:
+    """A token <-> id mapping with reserved special tokens."""
+
+    def __init__(self, tokens: list[str]):
+        self._token_to_id: dict[str, int] = {}
+        self._tokens: list[str] = []
+        for token in (*SPECIAL_TOKENS, *tokens):
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._tokens)
+                self._tokens.append(token)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS]
+
+    def id_of(self, token: str) -> int:
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._tokens):
+            raise ValueError(f"token id {token_id} out of range")
+        return self._tokens[token_id]
+
+    def encode(self, tokens: list[str], add_markers: bool = True) -> list[int]:
+        ids = [self.id_of(token) for token in tokens]
+        if add_markers:
+            return [self.bos_id, *ids, self.eos_id]
+        return ids
+
+    def decode(self, ids: list[int], skip_special: bool = True) -> list[str]:
+        tokens = [self.token_of(i) for i in ids]
+        if skip_special:
+            tokens = [t for t in tokens if t not in SPECIAL_TOKENS]
+        return tokens
+
+    @classmethod
+    def build(
+        cls,
+        texts: Iterable[str],
+        tokenizer: CodeTokenizer | None = None,
+        max_size: int = 4096,
+        min_count: int = 1,
+    ) -> "Vocabulary":
+        """Most frequent tokens of ``texts``, capped at ``max_size``."""
+        if max_size <= len(SPECIAL_TOKENS):
+            raise TrainingError(
+                f"max_size must exceed the {len(SPECIAL_TOKENS)} special tokens"
+            )
+        tokenizer = tokenizer or CodeTokenizer()
+        counts: Counter[str] = Counter()
+        seen_any = False
+        for text in texts:
+            seen_any = True
+            counts.update(tokenizer.tokenize(text))
+        if not seen_any:
+            raise TrainingError("cannot build a vocabulary from no texts")
+        budget = max_size - len(SPECIAL_TOKENS)
+        frequent = [
+            token
+            for token, count in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            )
+            if count >= min_count
+        ]
+        return cls(frequent[:budget])

@@ -1,0 +1,13 @@
+"""Minimal neural-network substrate shared across the library.
+
+Implements exactly the pieces the paper's training recipes need —
+AdamW (β₁=0.9, β₂=0.95, ε=1e−8, decoupled weight decay), a cosine
+learning-rate schedule with optional warmup decaying to a floor, and a
+small MLP binary classifier used by the schema-item classifier.
+"""
+
+from repro.nn.optimizer import AdamW
+from repro.nn.schedule import CosineSchedule
+from repro.nn.mlp import MLPClassifier
+
+__all__ = ["AdamW", "CosineSchedule", "MLPClassifier"]

@@ -1,0 +1,113 @@
+"""A small two-layer MLP binary classifier trained with AdamW.
+
+This is the "compact neural network for schema classification" the
+paper's complexity discussion mentions (§4): fast at inference, cheap
+to train per dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.optimizer import AdamW
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+
+class MLPClassifier:
+    """``input -> tanh hidden -> sigmoid`` binary classifier."""
+
+    def __init__(self, input_dim: int, hidden_dim: int = 16, seed: int = 0):
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("input_dim and hidden_dim must be positive")
+        rng = np.random.default_rng(seed)
+        scale1 = 1.0 / np.sqrt(input_dim)
+        scale2 = 1.0 / np.sqrt(hidden_dim)
+        self.w1 = rng.normal(0.0, scale1, size=(input_dim, hidden_dim))
+        self.b1 = np.zeros(hidden_dim)
+        self.w2 = rng.normal(0.0, scale2, size=(hidden_dim, 1))
+        self.b2 = np.zeros(1)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.w1, self.b1, self.w2, self.b2]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probabilities for a ``(n, input_dim)`` feature matrix."""
+        features = np.atleast_2d(features)
+        hidden = np.tanh(features @ self.w1 + self.b1)
+        return _sigmoid(hidden @ self.w2 + self.b2).ravel()
+
+    def loss_and_grads(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, list[np.ndarray]]:
+        """Binary cross-entropy and gradients for one batch."""
+        features = np.atleast_2d(features)
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        n = features.shape[0]
+        hidden_pre = features @ self.w1 + self.b1
+        hidden = np.tanh(hidden_pre)
+        logits = (hidden @ self.w2 + self.b2).ravel()
+        probs = _sigmoid(logits)
+        eps = 1e-12
+        loss = -float(
+            np.mean(labels * np.log(probs + eps) + (1 - labels) * np.log(1 - probs + eps))
+        )
+        dlogits = (probs - labels)[:, None] / n
+        grad_w2 = hidden.T @ dlogits
+        grad_b2 = dlogits.sum(axis=0)
+        dhidden = dlogits @ self.w2.T * (1.0 - hidden ** 2)
+        grad_w1 = features.T @ dhidden
+        grad_b1 = dhidden.sum(axis=0)
+        return loss, [grad_w1, grad_b1, grad_w2, grad_b2]
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 0.01,
+        seed: int = 0,
+    ) -> list[float]:
+        """Train with AdamW; returns the per-epoch mean loss curve."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if features.shape[0] != labels.shape[0]:
+            raise TrainingError(
+                f"{features.shape[0]} feature rows but {labels.shape[0]} labels"
+            )
+        if features.shape[0] == 0:
+            raise TrainingError("cannot fit classifier on an empty dataset")
+        if features.shape[1] != self.input_dim:
+            raise TrainingError(
+                f"expected {self.input_dim} features, got {features.shape[1]}"
+            )
+        optimizer = AdamW(self.params, lr=lr, weight_decay=0.01)
+        rng = np.random.default_rng(seed)
+        history: list[float] = []
+        indices = np.arange(features.shape[0])
+        for _ in range(epochs):
+            rng.shuffle(indices)
+            losses: list[float] = []
+            for start in range(0, len(indices), batch_size):
+                batch = indices[start:start + batch_size]
+                loss, grads = self.loss_and_grads(features[batch], labels[batch])
+                optimizer.step(grads)
+                losses.append(loss)
+            history.append(float(np.mean(losses)))
+        return history
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"w1": self.w1, "b1": self.b1, "w2": self.w2, "b2": self.b2}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.w1 = np.asarray(state["w1"], dtype=np.float64)
+        self.b1 = np.asarray(state["b1"], dtype=np.float64)
+        self.w2 = np.asarray(state["w2"], dtype=np.float64)
+        self.b2 = np.asarray(state["b2"], dtype=np.float64)

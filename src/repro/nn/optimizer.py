@@ -1,0 +1,68 @@
+"""AdamW with decoupled weight decay and gradient clipping.
+
+Matches the paper's pre-training/fine-tuning recipe (§5.2): AdamW with
+β₁ = 0.9, β₂ = 0.95, ε = 1e−8, weight decay 0.1, global-norm gradient
+clipping at 1.0.  Parameters are a flat list of numpy arrays updated in
+place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AdamW:
+    """AdamW over a list of numpy parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        lr: float = 5e-5,
+        betas: tuple[float, float] = (0.9, 0.95),
+        eps: float = 1e-8,
+        weight_decay: float = 0.1,
+        clip_norm: float = 1.0,
+    ):
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._step = 0
+
+    def clip_gradients(self, grads: list[np.ndarray]) -> float:
+        """Scale ``grads`` in place to global norm ``clip_norm``; return the norm."""
+        total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+        if self.clip_norm > 0.0 and total > self.clip_norm:
+            scale = self.clip_norm / (total + 1e-12)
+            for grad in grads:
+                grad *= scale
+        return total
+
+    def step(self, grads: list[np.ndarray], lr: float | None = None) -> float:
+        """Apply one AdamW update; returns the pre-clip gradient norm."""
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        norm = self.clip_gradients(grads)
+        self._step += 1
+        step_lr = self.lr if lr is None else lr
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for param, grad, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= step_lr * (m_hat / (np.sqrt(v_hat) + self.eps))
+            if self.weight_decay > 0.0:
+                param -= step_lr * self.weight_decay * param
+        return norm

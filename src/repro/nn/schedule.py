@@ -1,0 +1,44 @@
+"""Cosine learning-rate schedule with warmup and a floor.
+
+The paper's pre-training uses cosine decay without warmup ending at a
+tenth of the peak rate (§5.2); its fine-tuning adds a linear warmup over
+the first 5% of steps (§9.1.4).  Both are instances of this schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class CosineSchedule:
+    """Learning rate as a function of the training step."""
+
+    def __init__(
+        self,
+        peak_lr: float,
+        total_steps: int,
+        warmup_fraction: float = 0.0,
+        final_fraction: float = 0.1,
+    ):
+        if peak_lr <= 0.0:
+            raise ValueError(f"peak_lr must be positive, got {peak_lr}")
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(f"warmup_fraction must lie in [0, 1), got {warmup_fraction}")
+        if not 0.0 <= final_fraction <= 1.0:
+            raise ValueError(f"final_fraction must lie in [0, 1], got {final_fraction}")
+        self.peak_lr = peak_lr
+        self.total_steps = total_steps
+        self.warmup_steps = int(round(total_steps * warmup_fraction))
+        self.final_lr = peak_lr * final_fraction
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for 0-indexed ``step`` (clamped to the schedule)."""
+        step = max(0, min(step, self.total_steps))
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        decay_steps = max(1, self.total_steps - self.warmup_steps)
+        progress = (step - self.warmup_steps) / decay_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * min(1.0, progress)))
+        return self.final_lr + (self.peak_lr - self.final_lr) * cosine

@@ -1,0 +1,6 @@
+"""Database prompt construction (paper §6, Algorithm 1)."""
+
+from repro.promptgen.options import PromptOptions
+from repro.promptgen.builder import DatabasePrompt, PromptBuilder
+
+__all__ = ["DatabasePrompt", "PromptBuilder", "PromptOptions"]

@@ -1,0 +1,232 @@
+"""The database prompt builder (Algorithm 1).
+
+Pipeline per question:
+
+1. value retriever — BM25 coarse search then LCS re-ranking (§6.2);
+2. schema filter — classifier-ranked top-k1 tables / top-k2 columns,
+   or gold-driven selection with random padding at training time (§6.1);
+3. serialization — schema with metadata (types, comments, representative
+   values, keys) plus the matched values, concatenated (§6.3, Figure 4).
+
+If the serialized prompt exceeds the character budget, metadata is
+dropped in order of dispensability (representative values, comments,
+types) before hard truncation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.errors import SQLSyntaxError
+from repro.linking.classifier import SchemaItemClassifier
+from repro.linking.schema_filter import FilteredSchema, SchemaFilter
+from repro.promptgen.options import PromptOptions
+from repro.retrieval.value_retriever import MatchedValue, ValueRetriever
+
+
+@dataclass(frozen=True)
+class DatabasePrompt:
+    """The constructed prompt plus the intermediate artifacts.
+
+    ``schema`` is the *effective* schema view downstream consumers see:
+    when keys or comments are ablated away, they are removed here too,
+    not just from the serialized text.
+    """
+
+    text: str
+    schema: Schema
+    matched_values: tuple[MatchedValue, ...]
+    kept_tables: tuple[str, ...]
+    options: PromptOptions = PromptOptions()
+
+
+def _apply_schema_ablations(schema: Schema, options: PromptOptions) -> Schema:
+    """Strip keys/comments from the structured schema per the options."""
+    if options.include_keys and options.include_comments:
+        return schema
+    from repro.db.schema import Column, Table  # local to avoid import noise
+
+    tables = []
+    for table in schema.tables:
+        columns = tuple(
+            Column(
+                name=column.name,
+                type=column.type,
+                comment=column.comment if options.include_comments else "",
+                is_primary=column.is_primary if options.include_keys else False,
+            )
+            for column in table.columns
+        )
+        tables.append(
+            Table(
+                name=table.name,
+                columns=columns,
+                comment=table.comment if options.include_comments else "",
+            )
+        )
+    return Schema(
+        name=schema.name,
+        tables=tuple(tables),
+        foreign_keys=schema.foreign_keys if options.include_keys else (),
+        domain=schema.domain,
+    )
+
+
+class PromptBuilder:
+    """Builds database prompts for one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        classifier: SchemaItemClassifier | None = None,
+        options: PromptOptions | None = None,
+    ):
+        self.database = database
+        self.options = options or PromptOptions()
+        self.classifier = classifier
+        self._value_retriever = (
+            ValueRetriever(database) if self.options.use_value_retriever else None
+        )
+        self._schema_filter = SchemaFilter(
+            classifier=classifier,
+            top_k1=self.options.top_k1,
+            top_k2=self.options.top_k2,
+        )
+        self._representative_cache: dict[tuple[str, str], list] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def build(
+        self,
+        question: str,
+        gold_sql: str | None = None,
+        linking_question: str | None = None,
+    ) -> DatabasePrompt:
+        """Construct the prompt for ``question``.
+
+        ``gold_sql`` switches to the training-time path: used schema
+        items are kept and padded, so train/test prompt distributions
+        match (§6.1).  ``linking_question`` (question + external
+        knowledge) drives the schema filter; value retrieval always uses
+        the bare question, whose words are what the database stores.
+        """
+        linking_question = linking_question or question
+        matched: list[MatchedValue] = []
+        if self._value_retriever is not None:
+            matched = self._value_retriever.retrieve(question)
+
+        schema = self.database.schema
+        if self.options.use_schema_filter:
+            if gold_sql is not None:
+                try:
+                    filtered = self._schema_filter.filter_training(
+                        question, schema, gold_sql
+                    )
+                except SQLSyntaxError:
+                    filtered = self._schema_filter.filter(
+                        linking_question, schema, matched
+                    )
+            else:
+                filtered = self._schema_filter.filter(
+                    linking_question, schema, matched
+                )
+        else:
+            filtered = FilteredSchema(
+                schema=schema,
+                kept_tables=tuple(t.name.lower() for t in schema.tables),
+                kept_columns={
+                    t.name.lower(): tuple(c.name for c in t.columns)
+                    for t in schema.tables
+                },
+            )
+
+        text = self._serialize(filtered.schema, matched, self.options)
+        budget = self.options.max_prompt_chars
+        if len(text) > budget:
+            text = self._shrink(filtered.schema, matched, budget)
+        effective_schema = _apply_schema_ablations(filtered.schema, self.options)
+        return DatabasePrompt(
+            text=text,
+            schema=effective_schema,
+            matched_values=tuple(matched),
+            kept_tables=filtered.kept_tables,
+            options=self.options,
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def _representative(self, table: str, column: str) -> list:
+        key = (table.lower(), column.lower())
+        if key not in self._representative_cache:
+            self._representative_cache[key] = self.database.representative_values(
+                table, column, k=self.options.representative_k
+            )
+        return self._representative_cache[key]
+
+    def _serialize(
+        self,
+        schema: Schema,
+        matched: list[MatchedValue],
+        options: PromptOptions,
+    ) -> str:
+        lines: list[str] = ["database schema :"]
+        for table in schema.tables:
+            column_parts: list[str] = []
+            for column in table.columns:
+                attributes: list[str] = []
+                if options.include_column_types:
+                    attributes.append(column.type.upper())
+                if options.include_keys and column.is_primary:
+                    attributes.append("primary key")
+                if options.include_comments and column.comment:
+                    attributes.append(f"comment : {column.comment}")
+                if options.include_representative_values:
+                    values = self._representative(table.name, column.name)
+                    if values:
+                        rendered = " , ".join(_render_value(v) for v in values)
+                        attributes.append(f"values : {rendered}")
+                qualified = f"{table.name}.{column.name}"
+                if attributes:
+                    column_parts.append(f"{qualified} ( {' | '.join(attributes)} )")
+                else:
+                    column_parts.append(qualified)
+            line = f"table {table.name} , columns = [ {' , '.join(column_parts)} ]"
+            if options.include_comments and table.comment:
+                line += f" -- {table.comment}"
+            lines.append(line)
+        if options.include_keys and schema.foreign_keys:
+            lines.append("foreign keys :")
+            for fkey in schema.foreign_keys:
+                lines.append(fkey.render())
+        if matched:
+            lines.append("matched values :")
+            lines.extend(match.render() for match in matched)
+        return "\n".join(lines)
+
+    def _shrink(
+        self, schema: Schema, matched: list[MatchedValue], budget: int
+    ) -> str:
+        """Drop metadata in order of dispensability to fit the budget."""
+        reductions = (
+            {"include_representative_values": False},
+            {"include_representative_values": False, "include_comments": False},
+            {
+                "include_representative_values": False,
+                "include_comments": False,
+                "include_column_types": False,
+            },
+        )
+        for overrides in reductions:
+            text = self._serialize(schema, matched, replace(self.options, **overrides))
+            if len(text) <= budget:
+                return text
+        return text[:budget]
+
+
+def _render_value(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)

@@ -1,0 +1,47 @@
+"""Configuration of the prompt builder.
+
+Every toggle corresponds to an ablation arm in Table 9: the schema
+filter, the value retriever, and the four metadata components (column
+types, comments, representative values, primary/foreign keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PromptOptions:
+    """Switches and budgets for database prompt construction."""
+
+    use_schema_filter: bool = True
+    use_value_retriever: bool = True
+    include_column_types: bool = True
+    include_comments: bool = True
+    include_representative_values: bool = True
+    include_keys: bool = True
+    top_k1: int = 6
+    top_k2: int = 10
+    representative_k: int = 2
+    max_prompt_chars: int = 6_000
+
+    def without(self, component: str) -> "PromptOptions":
+        """Copy with one named component disabled (ablation helper).
+
+        Component names mirror Table 9's rows: ``schema_filter``,
+        ``value_retriever``, ``column_types``, ``comments``,
+        ``representative_values``, ``keys``.
+        """
+        mapping = {
+            "schema_filter": "use_schema_filter",
+            "value_retriever": "use_value_retriever",
+            "column_types": "include_column_types",
+            "comments": "include_comments",
+            "representative_values": "include_representative_values",
+            "keys": "include_keys",
+        }
+        if component not in mapping:
+            raise ValueError(
+                f"unknown component {component!r}; expected one of {sorted(mapping)}"
+            )
+        return replace(self, **{mapping[component]: False})

@@ -1,0 +1,13 @@
+"""Retrieval substrate: BM25 index, LCS matching, coarse-to-fine values."""
+
+from repro.retrieval.bm25 import BM25Index
+from repro.retrieval.lcs import longest_common_substring, lcs_match_degree
+from repro.retrieval.value_retriever import MatchedValue, ValueRetriever
+
+__all__ = [
+    "BM25Index",
+    "MatchedValue",
+    "ValueRetriever",
+    "lcs_match_degree",
+    "longest_common_substring",
+]

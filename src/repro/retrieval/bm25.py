@@ -1,0 +1,103 @@
+"""BM25 inverted index built from scratch.
+
+Stands in for the Lucene/pyserini index the paper uses for the
+coarse-grained stage of value retrieval (§6.2).  Documents are short
+strings (database values); the query is the user's question.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.text.tokenize import sentence_tokens
+
+
+@dataclass(frozen=True)
+class ScoredDocument:
+    """One BM25 search hit."""
+
+    doc_id: Hashable
+    score: float
+    text: str
+
+
+class BM25Index:
+    """Okapi BM25 inverted index over short text documents.
+
+    Parameters follow the standard formulation; ``k1`` controls term
+    frequency saturation and ``b`` the length normalization.
+    """
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75):
+        if k1 < 0.0:
+            raise ValueError(f"k1 must be non-negative, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must lie in [0, 1], got {b}")
+        self.k1 = k1
+        self.b = b
+        self._postings: dict[str, list[tuple[int, int]]] = defaultdict(list)
+        self._doc_ids: list[Hashable] = []
+        self._doc_texts: list[str] = []
+        self._doc_lengths: list[int] = []
+        self._total_length = 0
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def average_length(self) -> float:
+        if not self._doc_ids:
+            return 0.0
+        return self._total_length / len(self._doc_ids)
+
+    def add(self, doc_id: Hashable, text: str) -> None:
+        """Index one document under ``doc_id``."""
+        tokens = sentence_tokens(text)
+        internal = len(self._doc_ids)
+        self._doc_ids.append(doc_id)
+        self._doc_texts.append(text)
+        self._doc_lengths.append(len(tokens))
+        self._total_length += len(tokens)
+        for token, freq in Counter(tokens).items():
+            self._postings[token].append((internal, freq))
+
+    def add_all(self, documents: Sequence[tuple[Hashable, str]]) -> None:
+        for doc_id, text in documents:
+            self.add(doc_id, text)
+
+    def _idf(self, token: str) -> float:
+        doc_freq = len(self._postings.get(token, ()))
+        if doc_freq == 0:
+            return 0.0
+        count = len(self._doc_ids)
+        return math.log(1.0 + (count - doc_freq + 0.5) / (doc_freq + 0.5))
+
+    def search(self, query: str, top_k: int = 100) -> list[ScoredDocument]:
+        """Top-``top_k`` documents for ``query``, highest score first.
+
+        Ties break deterministically by insertion order.
+        """
+        if top_k <= 0 or not self._doc_ids:
+            return []
+        scores: dict[int, float] = defaultdict(float)
+        avg_len = self.average_length or 1.0
+        for token in set(sentence_tokens(query)):
+            idf = self._idf(token)
+            if idf == 0.0:
+                continue
+            for internal, freq in self._postings[token]:
+                length_norm = 1.0 - self.b + self.b * self._doc_lengths[internal] / avg_len
+                tf_component = freq * (self.k1 + 1.0) / (freq + self.k1 * length_norm)
+                scores[internal] += idf * tf_component
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [
+            ScoredDocument(
+                doc_id=self._doc_ids[internal],
+                score=score,
+                text=self._doc_texts[internal],
+            )
+            for internal, score in ranked[:top_k]
+        ]

@@ -1,0 +1,47 @@
+"""Longest common substring, the fine-grained value matcher (§6.2).
+
+The paper notes the O(f*u) cost of LCS is why the coarse BM25 stage
+exists; we keep the textbook dynamic program so the speed benchmark
+(``bench_value_retriever_speed``) measures the genuine trade-off.
+"""
+
+from __future__ import annotations
+
+
+def longest_common_substring(left: str, right: str) -> str:
+    """The longest contiguous substring shared by the two strings.
+
+    Comparison is case-insensitive; the returned substring preserves the
+    casing of ``right``.  Ties favor the earliest occurrence in
+    ``right``.
+    """
+    if not left or not right:
+        return ""
+    low_left = left.lower()
+    low_right = right.lower()
+    best_len = 0
+    best_end = 0
+    previous = [0] * (len(low_left) + 1)
+    for j in range(1, len(low_right) + 1):
+        current = [0] * (len(low_left) + 1)
+        right_char = low_right[j - 1]
+        for i in range(1, len(low_left) + 1):
+            if low_left[i - 1] == right_char:
+                current[i] = previous[i - 1] + 1
+                if current[i] > best_len:
+                    best_len = current[i]
+                    best_end = j
+        previous = current
+    return right[best_end - best_len:best_end]
+
+
+def lcs_match_degree(question: str, value: str) -> float:
+    """Degree in [0, 1] to which ``value`` is mentioned by ``question``.
+
+    The longest shared substring is normalized by the value's length, so
+    a value fully contained in the question scores 1.0.
+    """
+    if not value:
+        return 0.0
+    shared = longest_common_substring(question, value)
+    return len(shared) / len(value)

@@ -1,0 +1,139 @@
+"""A small SQL lexer for the SQLite dialect subset used by the corpus."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a SQL token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    STAR = "star"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (upper-cased on output).
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "from", "where", "group", "by", "having",
+        "order", "limit", "offset", "join", "inner", "left", "right",
+        "outer", "on", "as", "and", "or", "not", "in", "like", "between",
+        "is", "null", "asc", "desc", "union", "intersect", "except",
+        "exists", "case", "when", "then", "else", "end", "cast",
+        "all",
+    }
+)
+
+#: Function names kept as identifiers but recognized by the parser.
+FUNCTIONS = frozenset(
+    {"count", "sum", "avg", "min", "max", "abs", "round", "length",
+     "substr", "upper", "lower", "strftime", "iif", "coalesce"}
+)
+
+_OPERATORS = ("<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "/", "%")
+
+
+@dataclass(frozen=True)
+class SQLToken:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    value: str
+    position: int
+
+    def upper(self) -> str:
+        return self.value.upper()
+
+    def lower(self) -> str:
+        return self.value.lower()
+
+
+def tokenize_sql(sql: str) -> list[SQLToken]:
+    """Tokenize ``sql`` into a list ending with an EOF token.
+
+    Raises :class:`SQLSyntaxError` on unterminated strings or stray
+    characters.
+    """
+    tokens: list[SQLToken] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = _scan_quoted(sql, i, "'")
+            tokens.append(SQLToken(TokenKind.STRING, sql[i:end], i))
+            i = end
+            continue
+        if ch in ('"', "`"):
+            closing = '"' if ch == '"' else "`"
+            end = _scan_quoted(sql, i, closing)
+            name = sql[i + 1:end - 1]
+            tokens.append(SQLToken(TokenKind.IDENTIFIER, name, i))
+            i = end
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            while end < n and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                seen_dot = seen_dot or sql[end] == "."
+                end += 1
+            tokens.append(SQLToken(TokenKind.NUMBER, sql[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[i:end]
+            kind = TokenKind.KEYWORD if word.lower() in KEYWORDS else TokenKind.IDENTIFIER
+            tokens.append(SQLToken(kind, word, i))
+            i = end
+            continue
+        if ch == "*":
+            tokens.append(SQLToken(TokenKind.STAR, "*", i))
+            i += 1
+            continue
+        op = next((o for o in _OPERATORS if sql.startswith(o, i)), None)
+        if op is not None:
+            tokens.append(SQLToken(TokenKind.OPERATOR, op, i))
+            i += len(op)
+            continue
+        if ch in "(),.;":
+            tokens.append(SQLToken(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at {i}", sql=sql, position=i)
+    tokens.append(SQLToken(TokenKind.EOF, "", n))
+    return tokens
+
+
+def _scan_quoted(sql: str, start: int, closing: str) -> int:
+    """Return the index one past the closing quote; handles '' escapes."""
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        if sql[i] == closing:
+            if closing == "'" and i + 1 < n and sql[i + 1] == "'":
+                i += 2
+                continue
+            return i + 1
+        i += 1
+    raise SQLSyntaxError(
+        f"unterminated {closing} literal starting at {start}", sql=sql, position=start
+    )

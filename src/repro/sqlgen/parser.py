@@ -1,0 +1,438 @@
+"""Recursive-descent parser from SQL text to :mod:`repro.sqlgen.ast`."""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlgen.ast import (
+    Aggregation,
+    BetweenCondition,
+    BinaryCondition,
+    ColumnRef,
+    CompoundCondition,
+    Condition,
+    Expression,
+    InCondition,
+    JoinEdge,
+    LikeCondition,
+    Literal,
+    NullCondition,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+from repro.sqlgen.lexer import FUNCTIONS, SQLToken, TokenKind, tokenize_sql
+
+_COMPARISONS = frozenset({"=", "<", ">", "<=", ">=", "!=", "<>"})
+
+
+def parse_sql(sql: str) -> Query:
+    """Parse ``sql`` into a :class:`Query`.
+
+    Raises :class:`SQLSyntaxError` for SQL outside the supported subset.
+    """
+    parser = _Parser(tokenize_sql(sql), sql)
+    query = parser.parse_query()
+    parser.expect_end()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[SQLToken], sql: str):
+        self._tokens = tokens
+        self._sql = sql
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> SQLToken:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> SQLToken:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self._peek()
+        return SQLSyntaxError(
+            f"{message} (found {token.value!r} at {token.position})",
+            sql=self._sql,
+            position=token.position,
+        )
+
+    def _match_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.lower() in words:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._match_keyword(word):
+            raise self._error(f"expected keyword {word.upper()}")
+
+    def _match_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._match_punct(value):
+            raise self._error(f"expected {value!r}")
+
+    def expect_end(self) -> None:
+        self._match_punct(";")
+        if self._peek().kind is not TokenKind.EOF:
+            raise self._error("unexpected trailing tokens")
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        query = self._parse_simple_query()
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.lower() in (
+            "union", "intersect", "except",
+        ):
+            op = self._advance().upper()
+            self._match_keyword("all")
+            rest = self.parse_query()
+            return _with_compound(query, op, rest)
+        return query
+
+    def _parse_simple_query(self) -> Query:
+        self._expect_keyword("select")
+        distinct = self._match_keyword("distinct")
+        select_items = self._parse_select_items()
+        self._expect_keyword("from")
+        from_table, aliases = self._parse_table_ref({})
+        joins: list[JoinEdge] = []
+        while True:
+            if self._match_keyword("join"):
+                pass
+            elif self._match_keyword("inner"):
+                self._expect_keyword("join")
+            elif self._match_keyword("left"):
+                self._match_keyword("outer")
+                self._expect_keyword("join")
+            else:
+                break
+            table, aliases = self._parse_table_ref(aliases)
+            self._expect_keyword("on")
+            left = self._parse_column_ref()
+            token = self._peek()
+            if token.kind is not TokenKind.OPERATOR or token.value != "=":
+                raise self._error("expected = in JOIN ON condition")
+            self._advance()
+            right = self._parse_column_ref()
+            joins.append(JoinEdge(table=table, left=left, right=right))
+
+        where = self._parse_condition() if self._match_keyword("where") else None
+        group_by: tuple[ColumnRef, ...] = ()
+        having: Condition | None = None
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            cols = [self._parse_column_ref()]
+            while self._match_punct(","):
+                cols.append(self._parse_column_ref())
+            group_by = tuple(cols)
+            if self._match_keyword("having"):
+                having = self._parse_condition()
+        order_by: tuple[OrderItem, ...] = ()
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            items = [self._parse_order_item()]
+            while self._match_punct(","):
+                items.append(self._parse_order_item())
+            order_by = tuple(items)
+        limit: int | None = None
+        if self._match_keyword("limit"):
+            token = self._advance()
+            if token.kind is not TokenKind.NUMBER:
+                raise self._error("expected number after LIMIT")
+            limit = int(float(token.value))
+
+        query = Query(
+            select_items=tuple(select_items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+        if aliases:
+            query = _resolve_aliases(query, aliases)
+        return query
+
+    def _parse_table_ref(self, aliases: dict[str, str]) -> tuple[str, dict[str, str]]:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENTIFIER:
+            raise self._error("expected table name")
+        table = token.value
+        new_aliases = dict(aliases)
+        if self._match_keyword("as"):
+            alias_token = self._advance()
+            if alias_token.kind is not TokenKind.IDENTIFIER:
+                raise self._error("expected alias after AS")
+            new_aliases[alias_token.lower()] = table
+        else:
+            nxt = self._peek()
+            is_bare_alias = (
+                nxt.kind is TokenKind.IDENTIFIER
+                and nxt.lower() not in FUNCTIONS
+            )
+            if is_bare_alias:
+                self._advance()
+                new_aliases[nxt.lower()] = table
+        return table, new_aliases
+
+    def _parse_select_items(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self._parse_expression()
+        alias = ""
+        if self._match_keyword("as"):
+            token = self._advance()
+            if token.kind is not TokenKind.IDENTIFIER:
+                raise self._error("expected alias after AS")
+            alias = token.value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_expression(self) -> Expression:
+        token = self._peek()
+        if token.kind is TokenKind.STAR:
+            self._advance()
+            return ColumnRef(table="", column="*")
+        if token.kind is TokenKind.IDENTIFIER and token.lower() in FUNCTIONS:
+            nxt = self._peek(1)
+            if nxt.kind is TokenKind.PUNCT and nxt.value == "(":
+                return self._parse_aggregation()
+        if token.kind is TokenKind.IDENTIFIER:
+            return self._parse_column_ref()
+        return self._parse_literal()
+
+    def _parse_aggregation(self) -> Aggregation:
+        func = self._advance().lower()
+        self._expect_punct("(")
+        distinct = self._match_keyword("distinct")
+        token = self._peek()
+        if token.kind is TokenKind.STAR:
+            self._advance()
+            arg = ColumnRef(table="", column="*")
+        else:
+            arg = self._parse_column_ref()
+        self._expect_punct(")")
+        return Aggregation(func=func, arg=arg, distinct=distinct)
+
+    def _parse_column_ref(self) -> ColumnRef:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENTIFIER:
+            raise self._error("expected column reference")
+        first = token.value
+        if self._match_punct("."):
+            nxt = self._advance()
+            if nxt.kind is TokenKind.STAR:
+                return ColumnRef(table=first, column="*")
+            if nxt.kind is not TokenKind.IDENTIFIER:
+                raise self._error("expected column name after '.'")
+            return ColumnRef(table=first, column=nxt.value)
+        return ColumnRef(table="", column=first)
+
+    def _parse_literal(self) -> Literal:
+        token = self._advance()
+        if token.kind is TokenKind.STRING:
+            return Literal(token.value[1:-1].replace("''", "'"))
+        if token.kind is TokenKind.NUMBER:
+            return _number_literal(token.value)
+        if token.kind is TokenKind.OPERATOR and token.value == "-":
+            number = self._advance()
+            if number.kind is not TokenKind.NUMBER:
+                raise self._error("expected number after unary minus")
+            literal = _number_literal(number.value)
+            return Literal(-literal.value)  # type: ignore[operator]
+        if token.kind is TokenKind.KEYWORD and token.lower() == "null":
+            return Literal(None)
+        raise SQLSyntaxError(
+            f"expected literal (found {token.value!r} at {token.position})",
+            sql=self._sql,
+            position=token.position,
+        )
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expression()
+        descending = False
+        if self._match_keyword("desc"):
+            descending = True
+        else:
+            self._match_keyword("asc")
+        return OrderItem(expr=expr, descending=descending)
+
+    # -- conditions ---------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        return self._parse_or()
+
+    def _parse_or(self) -> Condition:
+        parts = [self._parse_and()]
+        while self._match_keyword("or"):
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return CompoundCondition(op="OR", conditions=tuple(parts))
+
+    def _parse_and(self) -> Condition:
+        parts = [self._parse_predicate()]
+        while self._match_keyword("and"):
+            parts.append(self._parse_predicate())
+        if len(parts) == 1:
+            return parts[0]
+        return CompoundCondition(op="AND", conditions=tuple(parts))
+
+    def _parse_predicate(self) -> Condition:
+        if self._match_punct("("):
+            inner = self._parse_condition()
+            self._expect_punct(")")
+            return inner
+        expr = self._parse_expression()
+        negated = self._match_keyword("not")
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.value in _COMPARISONS:
+            op = self._advance().value
+            if op == "<>":
+                op = "!="
+            right = self._parse_comparison_rhs()
+            return BinaryCondition(left=expr, op=op, right=right)
+        if self._match_keyword("in"):
+            self._expect_punct("(")
+            if self._peek().kind is TokenKind.KEYWORD and self._peek().lower() == "select":
+                subquery = self.parse_query()
+                self._expect_punct(")")
+                return InCondition(expr=expr, subquery=subquery, negated=negated)
+            values = [self._parse_literal()]
+            while self._match_punct(","):
+                values.append(self._parse_literal())
+            self._expect_punct(")")
+            return InCondition(expr=expr, values=tuple(values), negated=negated)
+        if self._match_keyword("between"):
+            low = self._parse_literal()
+            self._expect_keyword("and")
+            high = self._parse_literal()
+            return BetweenCondition(expr=expr, low=low, high=high)
+        if self._match_keyword("like"):
+            pattern = self._parse_literal()
+            return LikeCondition(expr=expr, pattern=pattern, negated=negated)
+        if self._match_keyword("is"):
+            is_not = self._match_keyword("not")
+            self._expect_keyword("null")
+            return NullCondition(expr=expr, negated=is_not)
+        raise self._error("expected a predicate operator")
+
+    def _parse_comparison_rhs(self) -> Expression | Query:
+        if self._match_punct("("):
+            if self._peek().kind is TokenKind.KEYWORD and self._peek().lower() == "select":
+                subquery = self.parse_query()
+                self._expect_punct(")")
+                return subquery
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        return self._parse_expression()
+
+
+def _number_literal(text: str) -> Literal:
+    if "." in text:
+        return Literal(float(text))
+    return Literal(int(text))
+
+
+def _with_compound(query: Query, op: str, rest: Query) -> Query:
+    return Query(
+        select_items=query.select_items,
+        from_table=query.from_table,
+        joins=query.joins,
+        where=query.where,
+        group_by=query.group_by,
+        having=query.having,
+        order_by=query.order_by,
+        limit=query.limit,
+        distinct=query.distinct,
+        compound_op=op,
+        compound_query=rest,
+    )
+
+
+def _resolve_aliases(query: Query, aliases: dict[str, str]) -> Query:
+    """Rewrite alias-qualified column refs to real table names."""
+
+    def fix_col(col: ColumnRef) -> ColumnRef:
+        resolved = aliases.get(col.table.lower())
+        if resolved is not None:
+            return ColumnRef(table=resolved, column=col.column)
+        return col
+
+    def fix_expr(expr: Expression) -> Expression:
+        if isinstance(expr, ColumnRef):
+            return fix_col(expr)
+        if isinstance(expr, Aggregation):
+            return Aggregation(func=expr.func, arg=fix_col(expr.arg), distinct=expr.distinct)
+        return expr
+
+    def fix_cond(cond: Condition) -> Condition:
+        if isinstance(cond, BinaryCondition):
+            right = cond.right
+            if isinstance(right, (ColumnRef, Literal, Aggregation)):
+                right = fix_expr(right)
+            return BinaryCondition(left=fix_expr(cond.left), op=cond.op, right=right)
+        if isinstance(cond, InCondition):
+            return InCondition(
+                expr=fix_expr(cond.expr),
+                values=cond.values,
+                subquery=cond.subquery,
+                negated=cond.negated,
+            )
+        if isinstance(cond, BetweenCondition):
+            return BetweenCondition(expr=fix_expr(cond.expr), low=cond.low, high=cond.high)
+        if isinstance(cond, LikeCondition):
+            return LikeCondition(
+                expr=fix_expr(cond.expr), pattern=cond.pattern, negated=cond.negated
+            )
+        if isinstance(cond, NullCondition):
+            return NullCondition(expr=fix_expr(cond.expr), negated=cond.negated)
+        if isinstance(cond, CompoundCondition):
+            return CompoundCondition(
+                op=cond.op, conditions=tuple(fix_cond(sub) for sub in cond.conditions)
+            )
+        raise TypeError(f"not a condition node: {cond!r}")
+
+    return Query(
+        select_items=tuple(
+            SelectItem(expr=fix_expr(item.expr), alias=item.alias)
+            for item in query.select_items
+        ),
+        from_table=query.from_table,
+        joins=tuple(
+            JoinEdge(table=edge.table, left=fix_col(edge.left), right=fix_col(edge.right))
+            for edge in query.joins
+        ),
+        where=fix_cond(query.where) if query.where is not None else None,
+        group_by=tuple(fix_col(col) for col in query.group_by),
+        having=fix_cond(query.having) if query.having is not None else None,
+        order_by=tuple(
+            OrderItem(expr=fix_expr(item.expr), descending=item.descending)
+            for item in query.order_by
+        ),
+        limit=query.limit,
+        distinct=query.distinct,
+        compound_op=query.compound_op,
+        compound_query=query.compound_query,
+    )

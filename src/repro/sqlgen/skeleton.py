@@ -1,0 +1,125 @@
+"""SQL skeleton extraction.
+
+A *skeleton* abstracts a SQL query to its structure: schema identifiers
+become ``_`` and literals become ``value`` while keywords, aggregation
+functions, and operators are kept.  Skeletons are the unit the
+retrieval-based parser indexes at SFT time (RESDSQL-style "skeleton
+parsing") and the unit the SQL-to-question augmentation templates are
+keyed on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlgen.ast import (
+    Aggregation,
+    BetweenCondition,
+    BinaryCondition,
+    ColumnRef,
+    CompoundCondition,
+    Condition,
+    Expression,
+    InCondition,
+    LikeCondition,
+    Literal,
+    NullCondition,
+    Query,
+)
+from repro.sqlgen.parser import parse_sql
+
+TABLE_SLOT = "_"
+COLUMN_SLOT = "_"
+VALUE_SLOT = "value"
+
+
+def extract_skeleton(sql: str) -> str:
+    """Skeleton of a SQL string; raises :class:`SQLSyntaxError` if unparseable."""
+    return skeleton_of_query(parse_sql(sql))
+
+
+def try_extract_skeleton(sql: str) -> str | None:
+    """Skeleton of ``sql`` or ``None`` when the query cannot be parsed."""
+    try:
+        return extract_skeleton(sql)
+    except SQLSyntaxError:
+        return None
+
+
+def skeleton_of_query(query: Query) -> str:
+    """Skeleton of a parsed query."""
+    parts = [_skeleton_simple(query)]
+    current = query
+    while current.compound_query is not None:
+        parts.append(current.compound_op.upper())
+        parts.append(_skeleton_simple(current.compound_query))
+        current = current.compound_query
+    return " ".join(parts)
+
+
+def _skeleton_simple(query: Query) -> str:
+    pieces = ["SELECT"]
+    if query.distinct:
+        pieces.append("DISTINCT")
+    pieces.append(", ".join(_skeleton_expr(item.expr) for item in query.select_items))
+    pieces.append(f"FROM {TABLE_SLOT}")
+    for _ in query.joins:
+        pieces.append(f"JOIN {TABLE_SLOT} ON {COLUMN_SLOT} = {COLUMN_SLOT}")
+    if query.where is not None:
+        pieces.append("WHERE")
+        pieces.append(_skeleton_condition(query.where))
+    if query.group_by:
+        pieces.append("GROUP BY")
+        pieces.append(", ".join(COLUMN_SLOT for _ in query.group_by))
+    if query.having is not None:
+        pieces.append("HAVING")
+        pieces.append(_skeleton_condition(query.having))
+    if query.order_by:
+        pieces.append("ORDER BY")
+        pieces.append(
+            ", ".join(
+                _skeleton_expr(item.expr) + (" DESC" if item.descending else " ASC")
+                for item in query.order_by
+            )
+        )
+    if query.limit is not None:
+        pieces.append("LIMIT value")
+    return " ".join(pieces)
+
+
+def _skeleton_expr(expr: Expression) -> str:
+    if isinstance(expr, ColumnRef):
+        return "*" if expr.column == "*" else COLUMN_SLOT
+    if isinstance(expr, Aggregation):
+        inner = "*" if expr.arg.column == "*" else COLUMN_SLOT
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.func.upper()}({inner})"
+    if isinstance(expr, Literal):
+        return VALUE_SLOT
+    raise TypeError(f"not an expression node: {expr!r}")
+
+
+def _skeleton_condition(cond: Condition) -> str:
+    if isinstance(cond, BinaryCondition):
+        if isinstance(cond.right, Query):
+            right = f"( {skeleton_of_query(cond.right)} )"
+        else:
+            right = _skeleton_expr(cond.right)
+        return f"{_skeleton_expr(cond.left)} {cond.op} {right}"
+    if isinstance(cond, InCondition):
+        keyword = "NOT IN" if cond.negated else "IN"
+        if cond.subquery is not None:
+            return f"{COLUMN_SLOT} {keyword} ( {skeleton_of_query(cond.subquery)} )"
+        return f"{COLUMN_SLOT} {keyword} ( {VALUE_SLOT} )"
+    if isinstance(cond, BetweenCondition):
+        return f"{COLUMN_SLOT} BETWEEN {VALUE_SLOT} AND {VALUE_SLOT}"
+    if isinstance(cond, LikeCondition):
+        keyword = "NOT LIKE" if cond.negated else "LIKE"
+        return f"{COLUMN_SLOT} {keyword} {VALUE_SLOT}"
+    if isinstance(cond, NullCondition):
+        keyword = "IS NOT NULL" if cond.negated else "IS NULL"
+        return f"{COLUMN_SLOT} {keyword}"
+    if isinstance(cond, CompoundCondition):
+        joiner = f" {cond.op.upper()} "
+        return joiner.join(_skeleton_condition(sub) for sub in cond.conditions)
+    raise TypeError(f"not a condition node: {cond!r}")

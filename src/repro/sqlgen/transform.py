@@ -1,0 +1,174 @@
+"""Structural SQL transforms: renaming schema references, mapping literals.
+
+Used by the robustness benchmarks (Dr.Spider's database-side
+perturbations rename schema elements or change stored value surface
+forms, which requires rewriting the gold SQL consistently).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sqlgen.ast import (
+    Aggregation,
+    BetweenCondition,
+    BinaryCondition,
+    ColumnRef,
+    CompoundCondition,
+    Condition,
+    Expression,
+    InCondition,
+    JoinEdge,
+    LikeCondition,
+    Literal,
+    NullCondition,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+
+ColumnFn = Callable[[ColumnRef], ColumnRef]
+LiteralFn = Callable[[Literal], Literal]
+TableFn = Callable[[str], str]
+
+
+def transform_query(
+    query: Query,
+    fix_table: TableFn = lambda name: name,
+    fix_column: ColumnFn = lambda col: col,
+    fix_literal: LiteralFn = lambda lit: lit,
+) -> Query:
+    """Structure-preserving rewrite of every table/column/literal node."""
+
+    def fix_expr(expr: Expression) -> Expression:
+        if isinstance(expr, ColumnRef):
+            return fix_column(expr)
+        if isinstance(expr, Aggregation):
+            return Aggregation(
+                func=expr.func, arg=fix_column(expr.arg), distinct=expr.distinct
+            )
+        if isinstance(expr, Literal):
+            return fix_literal(expr)
+        raise TypeError(f"not an expression node: {expr!r}")
+
+    def fix_cond(cond: Condition) -> Condition:
+        if isinstance(cond, BinaryCondition):
+            if isinstance(cond.right, Query):
+                right: object = transform_query(
+                    cond.right, fix_table, fix_column, fix_literal
+                )
+            else:
+                right = fix_expr(cond.right)
+            return BinaryCondition(left=fix_expr(cond.left), op=cond.op, right=right)
+        if isinstance(cond, InCondition):
+            return InCondition(
+                expr=fix_expr(cond.expr),
+                values=tuple(fix_literal(v) for v in cond.values),
+                subquery=(
+                    transform_query(cond.subquery, fix_table, fix_column, fix_literal)
+                    if cond.subquery is not None
+                    else None
+                ),
+                negated=cond.negated,
+            )
+        if isinstance(cond, BetweenCondition):
+            return BetweenCondition(
+                expr=fix_expr(cond.expr),
+                low=fix_literal(cond.low),
+                high=fix_literal(cond.high),
+            )
+        if isinstance(cond, LikeCondition):
+            return LikeCondition(
+                expr=fix_expr(cond.expr),
+                pattern=fix_literal(cond.pattern),
+                negated=cond.negated,
+            )
+        if isinstance(cond, NullCondition):
+            return NullCondition(expr=fix_expr(cond.expr), negated=cond.negated)
+        if isinstance(cond, CompoundCondition):
+            return CompoundCondition(
+                op=cond.op, conditions=tuple(fix_cond(sub) for sub in cond.conditions)
+            )
+        raise TypeError(f"not a condition node: {cond!r}")
+
+    return Query(
+        select_items=tuple(
+            SelectItem(expr=fix_expr(item.expr), alias=item.alias)
+            for item in query.select_items
+        ),
+        from_table=fix_table(query.from_table),
+        joins=tuple(
+            JoinEdge(
+                table=fix_table(edge.table),
+                left=fix_column(edge.left),
+                right=fix_column(edge.right),
+            )
+            for edge in query.joins
+        ),
+        where=fix_cond(query.where) if query.where is not None else None,
+        group_by=tuple(fix_column(col) for col in query.group_by),
+        having=fix_cond(query.having) if query.having is not None else None,
+        order_by=tuple(
+            OrderItem(expr=fix_expr(item.expr), descending=item.descending)
+            for item in query.order_by
+        ),
+        limit=query.limit,
+        distinct=query.distinct,
+        compound_op=query.compound_op,
+        compound_query=(
+            transform_query(query.compound_query, fix_table, fix_column, fix_literal)
+            if query.compound_query is not None
+            else None
+        ),
+    )
+
+
+def rename_query(
+    query: Query,
+    table_map: dict[str, str],
+    column_map: dict[tuple[str, str], str],
+) -> Query:
+    """Rename table and column references per the given maps.
+
+    ``table_map`` maps lower-cased old table names to new names;
+    ``column_map`` maps lower-cased (table, column) to new column names.
+    """
+
+    def fix_table(name: str) -> str:
+        return table_map.get(name.lower(), name)
+
+    def fix_column(col: ColumnRef) -> ColumnRef:
+        new_column = column_map.get((col.table.lower(), col.column.lower()), col.column)
+        return ColumnRef(table=fix_table(col.table), column=new_column)
+
+    return transform_query(query, fix_table=fix_table, fix_column=fix_column)
+
+
+def qualify_columns(query: Query) -> Query:
+    """Qualify bare column references with the query's FROM table.
+
+    Only single-table queries (no joins) can be qualified safely;
+    multi-table queries are returned unchanged except for their
+    already-qualified references.
+    """
+    if query.joins:
+        return query
+    table = query.from_table
+
+    def fix_column(col: ColumnRef) -> ColumnRef:
+        if not col.table and col.column != "*":
+            return ColumnRef(table=table, column=col.column)
+        return col
+
+    return transform_query(query, fix_column=fix_column)
+
+
+def map_literals(query: Query, value_map: dict[str, str]) -> Query:
+    """Replace string literal values per ``value_map`` (exact match)."""
+
+    def fix_literal(lit: Literal) -> Literal:
+        if isinstance(lit.value, str) and lit.value in value_map:
+            return Literal(value_map[lit.value])
+        return lit
+
+    return transform_query(query, fix_literal=fix_literal)

@@ -1,0 +1,27 @@
+"""Text utilities: tokenization, embeddings, question patterns, similarity.
+
+These are the light-weight stand-ins for the NLP stack the paper uses
+(SimCSE sentence embeddings, nltk entity recognition).  They are fully
+deterministic so that experiments are reproducible.
+"""
+
+from repro.text.tokenize import normalize, sentence_tokens, word_tokens
+from repro.text.embedder import HashedNgramEmbedder
+from repro.text.pattern import extract_pattern, strip_entities
+from repro.text.similarity import (
+    cosine_similarity,
+    jaccard_similarity,
+    token_overlap,
+)
+
+__all__ = [
+    "HashedNgramEmbedder",
+    "cosine_similarity",
+    "extract_pattern",
+    "jaccard_similarity",
+    "normalize",
+    "sentence_tokens",
+    "strip_entities",
+    "token_overlap",
+    "word_tokens",
+]

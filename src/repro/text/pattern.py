@@ -1,0 +1,70 @@
+"""Question-pattern extraction by entity stripping.
+
+Section 8.2 of the paper strips entities from questions (using nltk)
+before computing similarity, so the demonstration retriever matches the
+*structure* of a question ("Show the names of members from either _ or
+_") instead of its entities ("United States", "Canada").
+
+Offline we implement the same idea with deterministic rules: quoted
+strings, numbers, years, and capitalized non-initial words are replaced
+by a placeholder token.
+"""
+
+from __future__ import annotations
+
+import re
+
+_QUOTED_RE = re.compile(r"'[^']*'|\"[^\"]*\"")
+_NUMBER_RE = re.compile(r"\b\d+(?:\.\d+)?\b")
+
+#: Words that are frequently capitalized but are not entities.
+_STOP_CAPITALS = frozenset(
+    {
+        "what", "which", "who", "whom", "whose", "where", "when", "why",
+        "how", "show", "list", "find", "give", "return", "display",
+        "count", "name", "names", "the", "a", "an", "of", "in", "for",
+        "is", "are", "was", "were", "do", "does", "did", "please", "i",
+        "order", "group", "and", "or", "not", "all", "each", "every",
+        "top", "sql", "id",
+    }
+)
+
+PLACEHOLDER = "_"
+
+
+def strip_entities(question: str) -> str:
+    """Replace literal entities in ``question`` with a placeholder.
+
+    >>> strip_entities("Show singers born in 1948 or 1949")
+    'Show singers born in _ or _'
+    """
+    text = _QUOTED_RE.sub(PLACEHOLDER, question)
+    text = _NUMBER_RE.sub(PLACEHOLDER, text)
+    words = text.split()
+    stripped: list[str] = []
+    for position, word in enumerate(words):
+        bare = word.strip(".,;:!?()")
+        is_capitalized = bare[:1].isupper() and bare[1:].islower()
+        if (
+            position > 0
+            and is_capitalized
+            and bare.lower() not in _STOP_CAPITALS
+        ):
+            stripped.append(word.replace(bare, PLACEHOLDER))
+        else:
+            stripped.append(word)
+    collapsed: list[str] = []
+    for word in stripped:
+        if word == PLACEHOLDER and collapsed and collapsed[-1] == PLACEHOLDER:
+            continue
+        collapsed.append(word)
+    return " ".join(collapsed)
+
+
+def extract_pattern(question: str) -> str:
+    """Return the normalized question pattern used for retrieval.
+
+    Entities are stripped, then the text is lowercased so that pattern
+    similarity ignores casing.
+    """
+    return strip_entities(question).lower()

@@ -1,0 +1,41 @@
+"""String and vector similarity primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.tokenize import stemmed_tokens
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity of two vectors; zero vectors score 0.0."""
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return float(np.dot(left, right) / (left_norm * right_norm))
+
+
+def jaccard_similarity(left: str, right: str) -> float:
+    """Jaccard similarity of the two texts' stemmed token sets."""
+    left_set = set(stemmed_tokens(left))
+    right_set = set(stemmed_tokens(right))
+    if not left_set and not right_set:
+        return 1.0
+    if not left_set or not right_set:
+        return 0.0
+    return len(left_set & right_set) / len(left_set | right_set)
+
+
+def token_overlap(query: str, target: str) -> float:
+    """Fraction of ``target`` tokens that also appear in ``query``.
+
+    Useful as an asymmetric schema-linking feature: how much of a column
+    name is mentioned by the question.  Tokens are plural-stemmed so
+    "clients" matches the ``client`` table.
+    """
+    target_set = set(stemmed_tokens(target))
+    if not target_set:
+        return 0.0
+    query_set = set(stemmed_tokens(query))
+    return len(target_set & query_set) / len(target_set)

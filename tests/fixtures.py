@@ -1,0 +1,73 @@
+"""Shared test fixtures: a small bank-like database."""
+
+from __future__ import annotations
+
+from repro.db import Column, Database, ForeignKey, Schema, Table
+
+
+def bank_schema() -> Schema:
+    """A compact finance schema echoing the paper's Figure 2."""
+    return Schema(
+        name="mini_bank",
+        domain="finance",
+        tables=(
+            Table(
+                name="client",
+                comment="bank clients",
+                columns=(
+                    Column("client_id", "INTEGER", is_primary=True),
+                    Column("name", "TEXT", comment="client full name"),
+                    Column("gender", "TEXT", comment="M or F"),
+                    Column("district", "TEXT", comment="home district"),
+                ),
+            ),
+            Table(
+                name="account",
+                comment="client accounts",
+                columns=(
+                    Column("account_id", "INTEGER", is_primary=True),
+                    Column("client_id", "INTEGER"),
+                    Column("balance", "REAL", comment="current balance"),
+                    Column("open_date", "DATE", comment="YYYY-MM-DD"),
+                ),
+            ),
+            Table(
+                name="loan",
+                comment="loans issued per account",
+                columns=(
+                    Column("loan_id", "INTEGER", is_primary=True),
+                    Column("account_id", "INTEGER"),
+                    Column("amount", "REAL"),
+                    Column("status", "TEXT", comment="approved or rejected"),
+                ),
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("account", "client_id", "client", "client_id"),
+            ForeignKey("loan", "account_id", "account", "account_id"),
+        ),
+    )
+
+
+def bank_database() -> Database:
+    """The bank schema populated with a few deterministic rows."""
+    rows = {
+        "client": [
+            (1, "Sarah Martinez", "F", "Jesenik"),
+            (2, "James Chen", "M", "Prague"),
+            (3, "Maria Garcia", "F", "Jesenik"),
+            (4, "David Novak", "M", "Boston"),
+        ],
+        "account": [
+            (10, 1, 2500.0, "2009-01-15"),
+            (11, 2, 120.5, "2010-06-30"),
+            (12, 3, 9800.0, "2009-11-02"),
+            (13, 4, 410.0, "2021-03-03"),
+        ],
+        "loan": [
+            (100, 10, 5000.0, "approved"),
+            (101, 11, 300.0, "rejected"),
+            (102, 12, 750.0, "approved"),
+        ],
+    }
+    return Database.from_schema(bank_schema(), rows)

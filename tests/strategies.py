@@ -1,0 +1,180 @@
+"""Shared hypothesis strategies, notably random SQL ASTs.
+
+The AST strategy generates queries inside the supported SQL subset so
+property tests can assert the parse/serialize round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.sqlgen.ast import (
+    Aggregation,
+    BetweenCondition,
+    BinaryCondition,
+    ColumnRef,
+    CompoundCondition,
+    InCondition,
+    JoinEdge,
+    LikeCondition,
+    Literal,
+    NullCondition,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+from repro.sqlgen.lexer import FUNCTIONS, KEYWORDS
+
+_RESERVED = KEYWORDS | FUNCTIONS
+
+identifiers = (
+    st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+    .filter(lambda name: name not in _RESERVED and not name.endswith("_"))
+)
+
+safe_strings = st.text(
+    alphabet="abcdefghij XYZ'%-", min_size=1, max_size=12
+)
+
+_numbers = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(
+        min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+    ).map(lambda value: round(value, 3)).filter(lambda value: not float(value).is_integer()),
+)
+
+literals = st.one_of(
+    _numbers.map(Literal),
+    safe_strings.map(Literal),
+)
+
+column_refs = st.builds(ColumnRef, table=identifiers, column=identifiers)
+
+aggregations = st.builds(
+    Aggregation,
+    func=st.sampled_from(["count", "sum", "avg", "min", "max"]),
+    arg=st.one_of(column_refs, st.just(ColumnRef(table="", column="*"))),
+    distinct=st.booleans(),
+).filter(lambda agg: not (agg.arg.column == "*" and agg.func != "count"))
+
+select_exprs = st.one_of(column_refs, aggregations)
+
+
+def _where_conditions(query_strategy: st.SearchStrategy) -> st.SearchStrategy:
+    binary = st.builds(
+        BinaryCondition,
+        left=column_refs,
+        op=st.sampled_from(["=", "!=", "<", ">", "<=", ">="]),
+        right=st.one_of(literals, column_refs),
+    )
+    in_list = st.builds(
+        InCondition,
+        expr=column_refs,
+        values=st.lists(literals, min_size=1, max_size=3).map(tuple),
+        negated=st.booleans(),
+    )
+    in_subquery = st.builds(
+        InCondition,
+        expr=column_refs,
+        subquery=query_strategy,
+        negated=st.booleans(),
+    )
+    between = st.builds(
+        BetweenCondition,
+        expr=column_refs,
+        low=_numbers.map(Literal),
+        high=_numbers.map(Literal),
+    )
+    like = st.builds(
+        LikeCondition, expr=column_refs, pattern=safe_strings.map(Literal),
+        negated=st.booleans(),
+    )
+    null = st.builds(NullCondition, expr=column_refs, negated=st.booleans())
+    simple = st.one_of(binary, in_list, between, like, null, in_subquery)
+
+    def compound(children: st.SearchStrategy) -> st.SearchStrategy:
+        return st.builds(
+            CompoundCondition,
+            op=st.sampled_from(["AND", "OR"]),
+            conditions=st.lists(children, min_size=2, max_size=3).map(tuple),
+        )
+
+    return st.recursive(simple, compound, max_leaves=4)
+
+
+def _having_conditions() -> st.SearchStrategy:
+    return st.builds(
+        BinaryCondition,
+        left=aggregations,
+        op=st.sampled_from(["=", "!=", "<", ">", "<=", ">="]),
+        right=_numbers.map(Literal),
+    )
+
+
+@st.composite
+def simple_queries(draw, allow_subquery: bool = True) -> Query:
+    """A random, structurally valid Query."""
+    subquery = (
+        simple_queries(allow_subquery=False) if allow_subquery else st.nothing()
+    )
+    select_items = tuple(
+        SelectItem(expr=expr)
+        for expr in draw(st.lists(select_exprs, min_size=1, max_size=3))
+    )
+    joins = tuple(
+        draw(
+            st.lists(
+                st.builds(
+                    JoinEdge, table=identifiers, left=column_refs, right=column_refs
+                ),
+                max_size=2,
+            )
+        )
+    )
+    where = draw(st.none() | _where_conditions(subquery)) if allow_subquery else draw(
+        st.none() | _where_conditions(st.nothing())
+    )
+    group_by = tuple(draw(st.lists(column_refs, max_size=2)))
+    having = draw(st.none() | _having_conditions()) if group_by else None
+    order_by = tuple(
+        draw(
+            st.lists(
+                st.builds(OrderItem, expr=select_exprs, descending=st.booleans()),
+                max_size=2,
+            )
+        )
+    )
+    limit = draw(st.none() | st.integers(min_value=0, max_value=100))
+    return Query(
+        select_items=select_items,
+        from_table=draw(identifiers),
+        joins=joins,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+        distinct=draw(st.booleans()),
+    )
+
+
+@st.composite
+def queries(draw) -> Query:
+    """A random query, possibly with one compound set operation."""
+    base = draw(simple_queries())
+    if draw(st.booleans()):
+        return base
+    other = draw(simple_queries(allow_subquery=False))
+    return Query(
+        select_items=base.select_items,
+        from_table=base.from_table,
+        joins=base.joins,
+        where=base.where,
+        group_by=base.group_by,
+        having=base.having,
+        order_by=base.order_by,
+        limit=base.limit,
+        distinct=base.distinct,
+        compound_op=draw(st.sampled_from(["UNION", "INTERSECT", "EXCEPT"])),
+        compound_query=other,
+    )

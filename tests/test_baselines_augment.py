@@ -1,0 +1,149 @@
+"""Tests for the baseline registry and the augmentation pipeline."""
+
+import pytest
+
+from repro.augment import (
+    QuestionToSQLAugmenter,
+    SQLToQuestionAugmenter,
+    SyntheticLLM,
+    augment_domain,
+)
+from repro.augment.sql2question import templated_question
+from repro.baselines import BASELINE_NAMES, make_baseline
+from repro.datasets import build_bank_financials
+from repro.datasets.domains import DomainConfig
+from repro.errors import CheckpointError, DatasetError, TrainingError
+from repro.sqlgen.parser import parse_sql
+
+from tests.fixtures import bank_database
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return build_bank_financials(
+        DomainConfig(seed_pairs=8, test_examples=10, rows_per_table=40,
+                     extra_columns=2, seed=5)
+    )
+
+
+class TestBaselineRegistry:
+    def test_known_names_build(self):
+        for name in BASELINE_NAMES:
+            spec = make_baseline(name)
+            assert spec.name == name
+            assert spec.mode in ("sft", "fewshot")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CheckpointError):
+            make_baseline("gpt-5")
+
+    def test_closed_models_have_simulated_latency(self):
+        assert make_baseline("din-sql-gpt-4").simulated_api_latency_s > 0
+        assert make_baseline("sft-llama2-7b").simulated_api_latency_s == 0
+
+    def test_parser_factories_work(self):
+        parser = make_baseline("chatgpt").make_parser()
+        assert parser.config.family == "closed"
+        parser = make_baseline("sft-llama2-7b").make_parser()
+        assert parser.config.family == "llama"
+
+    def test_gpt4_has_larger_capacity_than_chatgpt(self):
+        gpt4 = make_baseline("gpt-4-fewshot").make_parser()
+        chatgpt = make_baseline("chatgpt").make_parser()
+        assert gpt4.config.embed_dim > chatgpt.config.embed_dim
+        assert gpt4.config.skeleton_capacity > chatgpt.config.skeleton_capacity
+
+
+class TestSyntheticLLM:
+    def test_temperature_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticLLM(temperature=3.0)
+
+    def test_question_generation(self, bank):
+        gdb = bank.generated["bank_financials"]
+        llm = SyntheticLLM(seed=0)
+        questions = llm.generate_questions(bank.train, gdb, n=10)
+        assert len(questions) >= 5
+        assert len(set(questions)) == len(questions)  # all distinct
+
+    def test_write_sql_executes_or_falls_back(self, bank):
+        llm = SyntheticLLM(seed=0)
+        database = bank.databases["bank_financials"]
+        sql = llm.write_sql("How many clients are there?", database)
+        assert database.is_executable(sql)
+
+    def test_refine_question_naturalizes_names(self):
+        llm = SyntheticLLM(seed=0, temperature=0.0)
+        refined = llm.refine_question(
+            "Return the c4 of account.", name_map={"c4": "currency"}
+        )
+        assert "currency" in refined
+        assert "c4" not in refined
+
+    def test_deterministic_for_seed(self, bank):
+        gdb = bank.generated["bank_financials"]
+        first = SyntheticLLM(seed=3).generate_questions(bank.train, gdb, n=5)
+        second = SyntheticLLM(seed=3).generate_questions(bank.train, gdb, n=5)
+        assert first == second
+
+
+class TestTemplatedQuestion:
+    def test_renders_structure(self):
+        query = parse_sql(
+            "SELECT account.balance FROM account WHERE account.currency = 'EUR' "
+            "ORDER BY account.balance DESC LIMIT 3"
+        )
+        text = templated_question(query)
+        assert "balance" in text
+        assert "account" in text
+        assert "descending" in text
+        assert "limited to 3" in text
+
+    def test_renders_aggregation(self):
+        query = parse_sql("SELECT COUNT(*) FROM loan GROUP BY loan.status")
+        text = templated_question(query)
+        assert "count" in text.lower()
+        assert "grouped by status" in text
+
+
+class TestAugmenters:
+    def test_question_to_sql_produces_executable_pairs(self, bank):
+        gdb = bank.generated["bank_financials"]
+        pairs = QuestionToSQLAugmenter(SyntheticLLM(seed=1)).augment(
+            bank.train, gdb, n_pairs=8
+        )
+        database = bank.databases["bank_financials"]
+        assert pairs
+        assert all(database.is_executable(pair.sql) for pair in pairs)
+
+    def test_question_to_sql_needs_seeds(self, bank):
+        gdb = bank.generated["bank_financials"]
+        with pytest.raises(TrainingError):
+            QuestionToSQLAugmenter().augment([], gdb, n_pairs=3)
+
+    def test_sql_to_question_produces_pairs(self, bank):
+        gdb = bank.generated["bank_financials"]
+        pairs = SQLToQuestionAugmenter(seed=2).augment(gdb, n_pairs=10)
+        assert len(pairs) == 10
+        database = bank.databases["bank_financials"]
+        assert all(database.is_executable(pair.sql) for pair in pairs)
+        assert len({pair.sql for pair in pairs}) == 10  # distinct SQL
+
+    def test_augment_domain_combines_sources(self, bank):
+        augmented = augment_domain(
+            bank, n_question_to_sql=5, n_sql_to_question=10, seed=0
+        )
+        assert len(augmented) > len(bank.train)
+        # Seeds are preserved at the front.
+        assert augmented[: len(bank.train)] == bank.train
+
+    def test_augment_domain_requires_single_db(self):
+        from repro.datasets import build_spider
+        from repro.datasets.spider import SpiderConfig
+
+        spider = build_spider(SpiderConfig(
+            n_train_databases=1, n_dev_databases=1,
+            train_per_database=2, dev_per_database=2, rows_per_table=10,
+        ))
+        with pytest.raises(DatasetError):
+            augment_domain(spider)

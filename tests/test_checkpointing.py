@@ -1,0 +1,47 @@
+"""Tests for parser save/load checkpointing."""
+
+import pytest
+
+from repro import CodeSParser, build_spider, evaluate_parser, pair_samples
+from repro.datasets.spider import SpiderConfig
+from repro.errors import CheckpointError
+
+_SMALL = SpiderConfig(
+    n_train_databases=2, n_dev_databases=1,
+    train_per_database=12, dev_per_database=8, rows_per_table=20,
+)
+
+
+@pytest.fixture(scope="module")
+def spider():
+    return build_spider(_SMALL)
+
+
+class TestCheckpointing:
+    def test_save_load_round_trip(self, spider, tmp_path):
+        parser = CodeSParser("codes-3b")
+        parser.fit(pair_samples(spider))
+        path = str(tmp_path / "parser.npz")
+        parser.save(path)
+
+        restored = CodeSParser.load(path)
+        assert restored.fine_tuned
+        assert restored.config.name == "codes-3b"
+        original = evaluate_parser(parser, spider)
+        reloaded = evaluate_parser(restored, spider)
+        assert reloaded.predictions == original.predictions
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CodeSParser("codes-1b").save(str(tmp_path / "nope.npz"))
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CodeSParser.load(str(tmp_path / "missing.npz"))
+
+    def test_load_preserves_pattern_flag(self, spider, tmp_path):
+        parser = CodeSParser("codes-1b", use_pattern_similarity=False)
+        parser.fit(pair_samples(spider))
+        path = str(tmp_path / "p.npz")
+        parser.save(path)
+        assert CodeSParser.load(path).use_pattern_similarity is False

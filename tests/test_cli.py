@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "spider" in out
+        assert "bank_financials" in out
+
+    def test_eval_zeroshot(self, capsys):
+        assert main([
+            "eval", "--dataset", "spider", "--model", "codes-1b",
+            "--mode", "zeroshot", "--limit", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EX%" in out
+
+    def test_eval_fewshot(self, capsys):
+        assert main([
+            "eval", "--dataset", "spider", "--model", "codes-1b",
+            "--mode", "fewshot", "--shots", "1", "--limit", "4",
+        ]) == 0
+        assert "codes-1b" in capsys.readouterr().out
+
+    def test_ask_command(self, capsys):
+        assert main([
+            "ask", "--dataset", "bank_financials", "--model", "codes-1b",
+            "--question", "How many clients are there?",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SQL:" in out
+        assert "SELECT" in out
+
+    def test_augment_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "pairs.json"
+        assert main([
+            "augment", "--domain", "bank_financials",
+            "--question-to-sql", "3", "--sql-to-question", "5",
+            "--out", str(out_file),
+        ]) == 0
+        payload = json.loads(out_file.read_text())
+        assert len(payload) >= 5
+        assert {"question", "sql", "db_id"} <= set(payload[0])
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["eval", "--dataset", "nope", "--limit", "1"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["eval", "--model", "gpt-9"])

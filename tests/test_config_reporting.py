@@ -1,0 +1,117 @@
+"""Tests for the model registry, reporting helpers, and error hierarchy."""
+
+import pytest
+
+from repro.config import (
+    CODES_TIERS,
+    MODEL_REGISTRY,
+    ModelConfig,
+    get_model_config,
+)
+from repro.errors import (
+    CheckpointError,
+    DatasetError,
+    ExecutionError,
+    GenerationError,
+    PromptBudgetError,
+    ReproError,
+    SchemaError,
+    SQLSyntaxError,
+    TrainingError,
+)
+from repro.eval.reporting import format_table
+
+
+class TestModelRegistry:
+    def test_all_codes_tiers_registered(self):
+        for tier in CODES_TIERS:
+            config = get_model_config(tier)
+            assert config.incremental
+            assert config.family == "starcoder"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(CheckpointError):
+            get_model_config("codes-30b")
+
+    def test_capacity_monotone_across_codes_tiers(self):
+        configs = [get_model_config(tier) for tier in CODES_TIERS]
+        for knob in ("embed_dim", "skeleton_capacity", "slot_depth"):
+            values = [getattr(config, knob) for config in configs]
+            assert values == sorted(values), knob
+
+    def test_codes_15b_has_smaller_context(self):
+        # Table 1: CodeS-15B is limited to 6,144 tokens vs 8,192.
+        assert (
+            get_model_config("codes-15b").max_context_chars
+            < get_model_config("codes-7b").max_context_chars
+        )
+
+    def test_beam_size_is_four_everywhere(self):
+        # §9.1.4: a beam of 4, first executable wins.
+        assert all(config.beam_size == 4 for config in MODEL_REGISTRY.values())
+
+    def test_base_and_codes_share_capacity(self):
+        # The incremental recipe changes knowledge, not architecture.
+        base = get_model_config("starcoderbase-7b")
+        codes = get_model_config("codes-7b")
+        assert base.embed_dim == codes.embed_dim
+        assert base.slot_depth == codes.slot_depth
+        assert not base.incremental and codes.incremental
+
+    def test_derived_override(self):
+        config = get_model_config("codes-1b").derived(slot_depth=9)
+        assert config.slot_depth == 9
+        assert config.name == "codes-1b"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(Exception):
+            ModelConfig(
+                name="bad", family="x", incremental=False, params_billions=1,
+                embed_dim=0, ngram_order=0, skeleton_capacity=0, slot_depth=0,
+            )
+
+
+class TestReporting:
+    def test_basic_table(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in text
+
+    def test_missing_cells_render_dash(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "-" in text
+
+    def test_floats_one_decimal(self):
+        text = format_table([{"v": 3.14159}])
+        assert "3.1" in text
+        assert "3.14159" not in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_column_order_follows_first_row(self):
+        text = format_table([{"z": 1, "a": 2}])
+        header = text.splitlines()[0]
+        assert header.index("z") < header.index("a")
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_type in (
+            SQLSyntaxError, SchemaError, ExecutionError, PromptBudgetError,
+            TrainingError, GenerationError, DatasetError, CheckpointError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_sql_syntax_error_carries_position(self):
+        error = SQLSyntaxError("bad", sql="SELECT @", position=7)
+        assert error.sql == "SELECT @"
+        assert error.position == 7
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise DatasetError("broken benchmark")

@@ -1,0 +1,184 @@
+"""Integration and failure-injection tests across subsystems."""
+
+import pytest
+
+from repro import (
+    CodeSParser,
+    Column,
+    Database,
+    DemonstrationRetriever,
+    PromptBuilder,
+    PromptOptions,
+    Schema,
+    Table,
+    Text2SQLExample,
+    augment_domain,
+    build_bank_financials,
+    build_spider,
+    evaluate_parser,
+    pair_samples,
+)
+from repro.datasets.domains import DomainConfig
+from repro.datasets.spider import SpiderConfig
+from repro.errors import ExecutionError, GenerationError
+
+from tests.fixtures import bank_database
+
+_SMALL = SpiderConfig(
+    n_train_databases=2, n_dev_databases=1,
+    train_per_database=15, dev_per_database=10, rows_per_table=25,
+)
+
+
+@pytest.fixture(scope="module")
+def spider():
+    return build_spider(_SMALL)
+
+
+class TestEndToEndSFT:
+    def test_sft_reaches_useful_accuracy(self, spider):
+        parser = CodeSParser("codes-7b")
+        parser.fit(pair_samples(spider))
+        result = evaluate_parser(parser, spider)
+        assert result.ex >= 0.5  # well above chance on held-out databases
+
+    def test_bigger_tier_not_worse(self, spider):
+        small = CodeSParser("codes-1b")
+        small.fit(pair_samples(spider))
+        large = CodeSParser("codes-15b")
+        large.fit(pair_samples(spider))
+        ex_small = evaluate_parser(small, spider).ex
+        ex_large = evaluate_parser(large, spider).ex
+        assert ex_large >= ex_small - 0.11  # allow small-sample noise
+
+    def test_ablation_does_not_crash_end_to_end(self, spider):
+        for component in ("value_retriever", "keys", "comments"):
+            parser = CodeSParser(
+                "codes-1b", options=PromptOptions().without(component)
+            )
+            parser.fit(pair_samples(spider))
+            result = evaluate_parser(parser, spider, limit=5)
+            assert 0.0 <= result.ex <= 1.0
+
+
+class TestEndToEndICL:
+    def test_icl_beats_random_retrieval(self, spider):
+        parser = CodeSParser("codes-7b")
+        smart = DemonstrationRetriever(spider.train, embedder=parser.embedder)
+        random_mode = DemonstrationRetriever(
+            spider.train, embedder=parser.embedder, mode="random", seed=0
+        )
+        ex_smart = evaluate_parser(
+            parser, spider, demonstrations_per_question=3,
+            demonstration_retriever=smart,
+        ).ex
+        ex_random = evaluate_parser(
+            parser, spider, demonstrations_per_question=3,
+            demonstration_retriever=random_mode,
+        ).ex
+        assert ex_smart >= ex_random
+
+    def test_more_shots_help_or_hold(self, spider):
+        parser = CodeSParser("codes-7b")
+        retriever = DemonstrationRetriever(spider.train, embedder=parser.embedder)
+        one = evaluate_parser(
+            parser, spider, demonstrations_per_question=1,
+            demonstration_retriever=retriever,
+        ).ex
+        five = evaluate_parser(
+            parser, spider, demonstrations_per_question=5,
+            demonstration_retriever=retriever,
+        ).ex
+        assert five >= one - 0.11
+
+
+class TestAugmentationFlow:
+    def test_augment_then_sft_beats_zero_shot(self):
+        bank = build_bank_financials(
+            DomainConfig(seed_pairs=10, test_examples=15, rows_per_table=40,
+                         extra_columns=2, seed=9)
+        )
+        augmented = augment_domain(
+            bank, n_question_to_sql=15, n_sql_to_question=30, seed=1
+        )
+        database = next(iter(bank.databases.values()))
+        sft = CodeSParser("codes-3b")
+        sft.fit([(example, database) for example in augmented])
+        sft_ex = evaluate_parser(sft, bank).ex
+        zero_ex = evaluate_parser(
+            CodeSParser("codes-3b"), bank, demonstrations_per_question=0
+        ).ex
+        assert sft_ex >= zero_ex
+
+
+class TestFailureInjection:
+    def test_empty_database_generation(self):
+        schema = Schema(
+            name="empty",
+            tables=(Table(name="only", columns=(Column("a", "TEXT"),)),),
+        )
+        database = Database.from_schema(schema)  # zero rows anywhere
+        parser = CodeSParser("codes-1b")
+        result = parser.generate("how many only are there", database,
+                                 demonstrations=[])
+        assert database.is_executable(result.sql)
+
+    def test_unparseable_demonstrations_are_skipped(self):
+        parser = CodeSParser("codes-1b")
+        database = bank_database()
+        demos = [
+            Text2SQLExample("bad", "THIS IS NOT SQL", "mini_bank"),
+            Text2SQLExample(
+                "How many clients are there?", "SELECT COUNT(*) FROM client",
+                "mini_bank",
+            ),
+        ]
+        result = parser.generate(
+            "How many loans are there?", database, demonstrations=demos
+        )
+        assert database.is_executable(result.sql)
+
+    def test_fit_skips_unparseable_gold(self, spider):
+        samples = pair_samples(spider)
+        database = samples[0][1]
+        samples.append(
+            (Text2SQLExample("junk", "DELETE EVERYTHING", "x"), database)
+        )
+        parser = CodeSParser("codes-1b")
+        parser.fit(samples)  # must not raise
+        assert parser.fine_tuned
+
+    def test_progress_guard_interrupts_runaway_query(self):
+        database = bank_database()
+        # A cross join of the table with itself many times still
+        # finishes within the VM-step budget on this tiny database, so
+        # craft something heavier via recursive-ish cartesian products.
+        heavy = (
+            "SELECT COUNT(*) FROM client a, client b, client c, client d, "
+            "client e, client f, client g, client h, client i, client j, "
+            "client k, client l, client m"
+        )
+        try:
+            database.execute(heavy)
+        except ExecutionError:
+            pass  # interrupted by the progress handler — acceptable
+
+    def test_prompt_budget_never_exceeded(self):
+        database = bank_database()
+        for budget in (120, 400, 2_000):
+            builder = PromptBuilder(
+                database, options=PromptOptions(max_prompt_chars=budget)
+            )
+            prompt = builder.build("How many clients live in Jesenik?")
+            assert len(prompt.text) <= budget
+
+    def test_harness_counts_generation_errors_as_misses(self, spider, monkeypatch):
+        parser = CodeSParser("codes-1b")
+        parser.fit(pair_samples(spider))
+
+        def explode(*args, **kwargs):
+            raise GenerationError("boom")
+
+        monkeypatch.setattr(parser, "generate", explode)
+        result = evaluate_parser(parser, spider, limit=3)
+        assert result.ex == 0.0

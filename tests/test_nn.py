@@ -1,0 +1,154 @@
+"""Tests for the neural substrate: AdamW, cosine schedule, MLP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrainingError
+from repro.nn import AdamW, CosineSchedule, MLPClassifier
+
+
+class TestAdamW:
+    def test_reduces_quadratic_loss(self):
+        param = np.array([5.0])
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.0)
+        for _ in range(200):
+            grad = 2.0 * param.copy()
+            optimizer.step([grad])
+        assert abs(param[0]) < 0.1
+
+    def test_gradient_clipping(self):
+        param = np.zeros(3)
+        optimizer = AdamW([param], lr=0.1, clip_norm=1.0)
+        grads = [np.array([10.0, 0.0, 0.0])]
+        norm = optimizer.step(grads)
+        assert norm == pytest.approx(10.0)
+        assert np.linalg.norm(grads[0]) <= 1.0 + 1e-9
+
+    def test_weight_decay_shrinks_params(self):
+        param = np.array([1.0])
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.5)
+        optimizer.step([np.array([0.0])])
+        assert param[0] < 1.0
+
+    def test_mismatched_grads_raise(self):
+        optimizer = AdamW([np.zeros(2)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2), np.zeros(2)])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            AdamW([np.zeros(1)], lr=0.0)
+
+
+class TestCosineSchedule:
+    def test_starts_at_peak_without_warmup(self):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=100, warmup_fraction=0.0)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+
+    def test_ends_at_final_fraction(self):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=100, final_fraction=0.1)
+        assert schedule.lr_at(100) == pytest.approx(0.1)
+
+    def test_warmup_ramps_linearly(self):
+        schedule = CosineSchedule(
+            peak_lr=1.0, total_steps=100, warmup_fraction=0.1
+        )
+        assert schedule.lr_at(0) == pytest.approx(0.1)
+        assert schedule.lr_at(4) == pytest.approx(0.5)
+        assert schedule.lr_at(9) == pytest.approx(1.0)
+
+    def test_monotone_decay_after_warmup(self):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=50, warmup_fraction=0.1)
+        rates = [schedule.lr_at(step) for step in range(5, 51)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_out_of_range_steps(self):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=10)
+        assert schedule.lr_at(-5) == schedule.lr_at(0)
+        assert schedule.lr_at(999) == schedule.lr_at(10)
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=500))
+    def test_lr_bounded_by_peak(self, total, step):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=total)
+        assert 0.0 < schedule.lr_at(step) <= 1.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(peak_lr=0.0, total_steps=10)
+        with pytest.raises(ValueError):
+            CosineSchedule(peak_lr=1.0, total_steps=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(peak_lr=1.0, total_steps=10, warmup_fraction=1.0)
+
+
+class TestMLP:
+    def _xor_data(self):
+        features = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        labels = np.array([0, 1, 1, 0], dtype=np.float64)
+        return features, labels
+
+    def test_learns_xor(self):
+        features, labels = self._xor_data()
+        model = MLPClassifier(input_dim=2, hidden_dim=8, seed=0)
+        model.fit(features, labels, epochs=800, lr=0.05)
+        predictions = (model.predict_proba(features) > 0.5).astype(int)
+        assert predictions.tolist() == labels.astype(int).tolist()
+
+    def test_loss_decreases(self):
+        features, labels = self._xor_data()
+        model = MLPClassifier(input_dim=2, hidden_dim=8, seed=0)
+        history = model.fit(features, labels, epochs=300, lr=0.05)
+        assert history[-1] < history[0]
+
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 2, size=6).astype(np.float64)
+        model = MLPClassifier(input_dim=3, hidden_dim=4, seed=1)
+        loss, grads = model.loss_and_grads(features, labels)
+        eps = 1e-6
+        for param, grad in zip(model.params, grads):
+            flat_param = param.ravel()
+            flat_grad = grad.ravel()
+            for index in range(min(5, flat_param.size)):
+                original = flat_param[index]
+                flat_param[index] = original + eps
+                loss_plus, _ = model.loss_and_grads(features, labels)
+                flat_param[index] = original - eps
+                loss_minus, _ = model.loss_and_grads(features, labels)
+                flat_param[index] = original
+                numeric = (loss_plus - loss_minus) / (2 * eps)
+                assert numeric == pytest.approx(flat_grad[index], abs=1e-4)
+
+    def test_empty_dataset_raises(self):
+        model = MLPClassifier(input_dim=2)
+        with pytest.raises(TrainingError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_dimension_mismatch_raises(self):
+        model = MLPClassifier(input_dim=3)
+        with pytest.raises(TrainingError):
+            model.fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_label_count_mismatch_raises(self):
+        model = MLPClassifier(input_dim=2)
+        with pytest.raises(TrainingError):
+            model.fit(np.zeros((4, 2)), np.zeros(3))
+
+    def test_state_dict_round_trip(self):
+        first = MLPClassifier(input_dim=2, hidden_dim=4, seed=0)
+        second = MLPClassifier(input_dim=2, hidden_dim=4, seed=99)
+        second.load_state_dict(first.state_dict())
+        features = np.array([[0.3, -0.7]])
+        assert first.predict_proba(features) == pytest.approx(
+            second.predict_proba(features)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_probabilities_in_unit_interval(self, n_rows):
+        model = MLPClassifier(input_dim=3, hidden_dim=4, seed=0)
+        rng = np.random.default_rng(n_rows)
+        probs = model.predict_proba(rng.normal(size=(n_rows, 3)) * 10)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)

@@ -1,0 +1,124 @@
+"""Tests for the perturbation machinery behind the robustness suites."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.base import Text2SQLExample
+from repro.datasets.perturb import (
+    VALUE_VARIANTS,
+    carrier_question,
+    column_attribute_question,
+    column_value_question,
+    domain_knowledge_question,
+    keyword_synonym_question,
+    multitype_question,
+    others_question,
+    realistic_question,
+    synonym_question,
+    value_synonym_question,
+)
+
+
+def _example(question: str) -> Text2SQLExample:
+    return Text2SQLExample(question=question, sql="SELECT 1", db_id="db")
+
+
+class TestQuestionPerturbations:
+    def test_synonym_replaces_schema_words(self):
+        rng = random.Random(0)
+        out = synonym_question(_example("Show the salary of each employee"), rng)
+        assert "pay" in out.question
+        assert "salary" not in out.question
+
+    def test_synonym_preserves_case(self):
+        rng = random.Random(0)
+        out = synonym_question(_example("Salary of employees"), rng)
+        assert out.question.startswith("Pay")
+
+    def test_keyword_synonym(self):
+        rng = random.Random(0)
+        out = keyword_synonym_question(_example("How many cities are there?"), rng)
+        assert "what is the count of" in out.question.lower()
+
+    def test_carrier_wraps_question(self):
+        rng = random.Random(1)
+        out = carrier_question(_example("List the cities."), rng)
+        assert out.question.endswith("?")
+        assert out.question.lower() != "list the cities."
+
+    def test_realistic_drops_column_mention(self):
+        rng = random.Random(0)
+        out = realistic_question(
+            _example("List the name of singers whose country is France"), rng
+        )
+        assert "name of" not in out.question
+
+    def test_domain_knowledge_values(self):
+        rng = random.Random(0)
+        out = domain_knowledge_question(
+            _example("How many clients have gender F?"), rng
+        )
+        assert "female" in out.question.lower()
+
+    def test_value_synonym_changes_value_surface(self):
+        rng = random.Random(0)
+        out = value_synonym_question(
+            _example("Members from the United States only"), rng
+        )
+        assert "United States" not in out.question
+
+    def test_column_value_drops_column(self):
+        rng = random.Random(0)
+        out = column_value_question(
+            _example("List singers whose country is France"), rng
+        )
+        assert "country" not in out.question
+
+    def test_column_attribute(self):
+        rng = random.Random(0)
+        out = column_attribute_question(
+            _example("Find the doctor with the highest salary"), rng
+        )
+        assert "salary" not in out.question
+
+    def test_multitype_composes(self):
+        rng = random.Random(0)
+        out = multitype_question(
+            _example("Show the salary of each employee"), rng
+        )
+        assert "display" in out.question.lower() or "pay" in out.question.lower()
+
+    def test_sql_never_changes(self):
+        rng = random.Random(0)
+        for perturb in (
+            synonym_question, keyword_synonym_question, carrier_question,
+            realistic_question, domain_knowledge_question,
+            value_synonym_question, column_value_question,
+            column_attribute_question, multitype_question, others_question,
+        ):
+            out = perturb(_example("Show the salary of each employee"), rng)
+            assert out.sql == "SELECT 1"
+            assert out.db_id == "db"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="abcdef XYZ123?.", max_size=50), st.integers(0, 100))
+    def test_perturbations_total(self, question, seed):
+        rng = random.Random(seed)
+        for perturb in (
+            synonym_question, keyword_synonym_question, carrier_question,
+            realistic_question, value_synonym_question, multitype_question,
+        ):
+            perturb(_example(question), rng)  # must never raise
+
+
+class TestValueVariants:
+    def test_city_reexpressions_present(self):
+        assert VALUE_VARIANTS["Prague"] == "City of Prague"
+
+    def test_semantic_reexpressions_have_no_overlap(self):
+        # 'approved' -> 'granted' requires domain knowledge, not string
+        # matching: that is what makes DBcontent-equivalence hard.
+        assert VALUE_VARIANTS["approved"] == "granted"
+        assert "approved" not in VALUE_VARIANTS["approved"]

@@ -1,0 +1,117 @@
+"""Tests for database prompt construction (Algorithm 1)."""
+
+import pytest
+
+from repro.promptgen import PromptBuilder, PromptOptions
+
+from tests.fixtures import bank_database
+
+
+class TestPromptOptions:
+    def test_without_component(self):
+        options = PromptOptions().without("comments")
+        assert not options.include_comments
+        assert options.include_keys  # others untouched
+
+    def test_without_unknown_raises(self):
+        with pytest.raises(ValueError):
+            PromptOptions().without("nonsense")
+
+    def test_all_components_toggleable(self):
+        for name in (
+            "schema_filter", "value_retriever", "column_types",
+            "comments", "representative_values", "keys",
+        ):
+            PromptOptions().without(name)
+
+
+class TestPromptBuilder:
+    def test_contains_schema_and_metadata(self):
+        builder = PromptBuilder(bank_database())
+        prompt = builder.build("How many clients live in Jesenik?")
+        assert "database schema :" in prompt.text
+        assert "client.name" in prompt.text
+        assert "INTEGER" in prompt.text  # column types
+        assert "primary key" in prompt.text
+        assert "foreign keys :" in prompt.text
+        assert "account.client_id = client.client_id" in prompt.text
+
+    def test_matched_value_in_prompt(self):
+        builder = PromptBuilder(bank_database())
+        prompt = builder.build("How many clients live in Jesenik?")
+        assert "matched values :" in prompt.text
+        assert "client.district = 'Jesenik'" in prompt.text
+
+    def test_representative_values_present(self):
+        builder = PromptBuilder(bank_database())
+        prompt = builder.build("clients")
+        assert "values :" in prompt.text
+
+    def test_no_value_retriever_ablation(self):
+        options = PromptOptions().without("value_retriever")
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build("How many clients live in Jesenik?")
+        assert "matched values :" not in prompt.text
+        assert prompt.matched_values == ()
+
+    def test_no_keys_ablation_strips_structured_schema(self):
+        options = PromptOptions().without("keys")
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build("clients in Jesenik")
+        assert "foreign keys :" not in prompt.text
+        assert prompt.schema.foreign_keys == ()
+        assert prompt.schema.table("client").primary_key is None
+
+    def test_no_comments_ablation(self):
+        options = PromptOptions().without("comments")
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build("clients")
+        assert "comment :" not in prompt.text
+        assert all(
+            not column.comment
+            for table in prompt.schema.tables
+            for column in table.columns
+        )
+
+    def test_no_types_ablation(self):
+        options = PromptOptions().without("column_types")
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build("clients")
+        assert "INTEGER" not in prompt.text
+
+    def test_budget_shrinks_prompt(self):
+        options = PromptOptions(max_prompt_chars=400)
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build("clients in Jesenik")
+        assert len(prompt.text) <= 400
+
+    def test_budget_drops_values_before_truncating(self):
+        full = PromptBuilder(bank_database()).build("clients").text
+        options = PromptOptions(max_prompt_chars=len(full) - 50)
+        shrunk = PromptBuilder(bank_database(), options=options).build("clients")
+        assert "values :" not in shrunk.text
+        assert "table client" in shrunk.text  # still structurally intact
+
+    def test_training_path_keeps_used_schema(self):
+        options = PromptOptions(top_k1=1, top_k2=2)
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build(
+            "count approved loans",
+            gold_sql="SELECT COUNT(*) FROM loan WHERE status = 'approved'",
+        )
+        assert "loan" in prompt.kept_tables
+
+    def test_linking_question_drives_filter(self):
+        options = PromptOptions(top_k1=1, top_k2=4)
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build(
+            "how many entries",
+            linking_question="how many entries (entries refers to loan records)",
+        )
+        assert prompt.kept_tables[0] == "loan"
+
+    def test_schema_filter_off_keeps_everything(self):
+        options = PromptOptions(use_schema_filter=False, top_k1=1, top_k2=1)
+        builder = PromptBuilder(bank_database(), options=options)
+        prompt = builder.build("anything")
+        assert len(prompt.schema.tables) == 3

@@ -1,0 +1,221 @@
+"""Tests for the SQL toolkit: lexer, parser, serializer, skeletons."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SQLSyntaxError
+from repro.sqlgen import (
+    ColumnRef,
+    Literal,
+    normalize_sql,
+    parse_sql,
+    serialize,
+    tokenize_sql,
+)
+from repro.sqlgen.lexer import TokenKind
+from repro.sqlgen.normalizer import same_structure
+from repro.sqlgen.skeleton import extract_skeleton, try_extract_skeleton
+
+from tests.strategies import queries
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize_sql("SELECT name FROM users")
+        kinds = [token.kind for token in tokens]
+        assert kinds == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENTIFIER,
+            TokenKind.KEYWORD,
+            TokenKind.IDENTIFIER,
+            TokenKind.EOF,
+        ]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize_sql("SELECT 'it''s'")
+        assert tokens[1].kind is TokenKind.STRING
+        assert tokens[1].value == "'it''s'"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize_sql('SELECT "first name" FROM t')
+        assert tokens[1].kind is TokenKind.IDENTIFIER
+        assert tokens[1].value == "first name"
+
+    def test_numbers(self):
+        tokens = tokenize_sql("SELECT 3.14, 42")
+        values = [t.value for t in tokens if t.kind is TokenKind.NUMBER]
+        assert values == ["3.14", "42"]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize_sql("SELECT 1 -- trailing comment\n")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("SELECT 'oops")
+
+    def test_stray_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("SELECT @x")
+
+    def test_operators(self):
+        tokens = tokenize_sql("a <= b <> c != d")
+        ops = [t.value for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert ops == ["<=", "<>", "!="]
+
+
+class TestParser:
+    def test_simple_select(self):
+        query = parse_sql("SELECT name FROM singer")
+        assert query.from_table == "singer"
+        assert str(query.select_items[0].expr) == "name"
+
+    def test_select_star(self):
+        query = parse_sql("SELECT * FROM t")
+        assert query.select_items[0].expr == ColumnRef(table="", column="*")
+
+    def test_aliases_resolved(self):
+        query = parse_sql(
+            "SELECT T1.name FROM reviewer AS T1 JOIN rating AS T2 ON T1.rid = T2.rid"
+        )
+        assert query.select_items[0].expr == ColumnRef(table="reviewer", column="name")
+        assert query.joins[0].table == "rating"
+        assert query.joins[0].left == ColumnRef(table="reviewer", column="rid")
+
+    def test_bare_alias(self):
+        query = parse_sql("SELECT a.x FROM widgets a")
+        assert query.select_items[0].expr == ColumnRef(table="widgets", column="x")
+
+    def test_where_tree(self):
+        query = parse_sql("SELECT x FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        # OR binds loosest: OR(AND(a,b), c)
+        assert query.where.op == "OR"
+        assert query.where.conditions[0].op == "AND"
+
+    def test_in_subquery(self):
+        query = parse_sql("SELECT x FROM t WHERE y IN (SELECT z FROM u)")
+        assert query.where.subquery is not None
+        assert query.where.subquery.from_table == "u"
+
+    def test_not_in_list(self):
+        query = parse_sql("SELECT x FROM t WHERE y NOT IN (1, 2, 3)")
+        assert query.where.negated
+        assert [lit.value for lit in query.where.values] == [1, 2, 3]
+
+    def test_between(self):
+        query = parse_sql("SELECT x FROM t WHERE y BETWEEN 1 AND 5")
+        assert query.where.low == Literal(1)
+        assert query.where.high == Literal(5)
+
+    def test_is_not_null(self):
+        query = parse_sql("SELECT x FROM t WHERE y IS NOT NULL")
+        assert query.where.negated
+
+    def test_group_having_order_limit(self):
+        query = parse_sql(
+            "SELECT city, COUNT(*) FROM shops GROUP BY city "
+            "HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5"
+        )
+        assert query.group_by[0].column == "city"
+        assert query.having is not None
+        assert query.order_by[0].descending
+        assert query.limit == 5
+
+    def test_union(self):
+        query = parse_sql("SELECT a FROM t UNION SELECT b FROM u")
+        assert query.compound_op == "UNION"
+        assert query.compound_query.from_table == "u"
+
+    def test_scalar_subquery_comparison(self):
+        query = parse_sql("SELECT x FROM t WHERE y > (SELECT AVG(y) FROM t)")
+        from repro.sqlgen.ast import Query as QueryNode
+        assert isinstance(query.where.right, QueryNode)
+
+    def test_negative_number(self):
+        query = parse_sql("SELECT x FROM t WHERE y = -5")
+        assert query.where.right == Literal(-5)
+
+    def test_distinct_aggregation(self):
+        query = parse_sql("SELECT COUNT(DISTINCT name) FROM t")
+        assert query.select_items[0].expr.distinct
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT x FROM t extra junk here ,")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT x WHERE y = 1")
+
+    def test_empty_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("")
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_sql("SELECT x FROM t;").from_table == "t"
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(queries())
+    def test_parse_serialize_round_trip(self, query):
+        assert parse_sql(serialize(query)) == query
+
+    @settings(max_examples=60, deadline=None)
+    @given(queries())
+    def test_serialize_is_stable(self, query):
+        once = serialize(query)
+        assert serialize(parse_sql(once)) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(queries())
+    def test_normalize_idempotent(self, query):
+        sql = serialize(query)
+        assert normalize_sql(normalize_sql(sql)) == normalize_sql(sql)
+
+
+class TestNormalizer:
+    def test_whitespace_and_case_insensitive(self):
+        assert same_structure(
+            "select  NAME from Users", "SELECT name FROM users"
+        )
+
+    def test_alias_insensitive(self):
+        assert same_structure(
+            "SELECT T1.x FROM t AS T1",
+            "SELECT t.x FROM t",
+        )
+
+    def test_unparseable_falls_back(self):
+        text = normalize_sql("WITH weird AS (SELECT 1) SELECT * FROM weird;")
+        assert "with weird" in text
+
+    def test_different_queries_differ(self):
+        assert not same_structure("SELECT a FROM t", "SELECT b FROM t")
+
+
+class TestSkeleton:
+    def test_masks_schema_and_values(self):
+        skeleton = extract_skeleton(
+            "SELECT name FROM singer WHERE birth_year = 1948"
+        )
+        assert skeleton == "SELECT _ FROM _ WHERE _ = value"
+
+    def test_keeps_aggregations(self):
+        skeleton = extract_skeleton("SELECT COUNT(*) FROM t GROUP BY c")
+        assert "COUNT(*)" in skeleton
+        assert "GROUP BY _" in skeleton
+
+    def test_same_template_same_skeleton(self):
+        first = extract_skeleton("SELECT name FROM singer WHERE age > 30")
+        second = extract_skeleton("SELECT title FROM film WHERE year > 1999")
+        assert first == second
+
+    def test_try_extract_none_on_garbage(self):
+        assert try_extract_skeleton("not sql at all !!!") is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(queries())
+    def test_skeleton_total_on_subset(self, query):
+        skeleton = extract_skeleton(serialize(query))
+        assert "SELECT" in skeleton

@@ -1,0 +1,116 @@
+"""Tests for structural SQL transforms (rename / literal maps / qualify)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sqlgen import parse_sql, serialize
+from repro.sqlgen.ast import ColumnRef
+from repro.sqlgen.transform import (
+    map_literals,
+    qualify_columns,
+    rename_query,
+    transform_query,
+)
+
+from tests.strategies import queries
+
+
+class TestRenameQuery:
+    def test_renames_tables_everywhere(self):
+        query = parse_sql(
+            "SELECT singer.name FROM singer JOIN album "
+            "ON singer.singer_id = album.singer_id WHERE singer.country = 'France'"
+        )
+        renamed = rename_query(query, {"singer": "vocalist"}, {})
+        sql = serialize(renamed)
+        assert "singer " not in sql.lower()
+        assert "FROM vocalist" in sql
+        assert "vocalist.name" in sql
+
+    def test_renames_columns_per_table(self):
+        query = parse_sql("SELECT t.a FROM t WHERE t.a > 5")
+        renamed = rename_query(query, {}, {("t", "a"): "alpha"})
+        assert "t.alpha" in serialize(renamed)
+
+    def test_rename_is_scoped_to_table(self):
+        query = parse_sql("SELECT t.a, u.a FROM t JOIN u ON t.k = u.k")
+        renamed = rename_query(query, {}, {("t", "a"): "alpha"})
+        sql = serialize(renamed)
+        assert "t.alpha" in sql
+        assert "u.a" in sql
+
+    def test_rename_reaches_subqueries(self):
+        query = parse_sql("SELECT t.a FROM t WHERE t.b > ( SELECT AVG(t.b) FROM t )")
+        renamed = rename_query(query, {"t": "s"}, {("t", "b"): "beta"})
+        sql = serialize(renamed)
+        assert "FROM s" in sql
+        assert "s.beta" in sql
+        assert "t.b" not in sql
+
+    @settings(max_examples=50, deadline=None)
+    @given(queries())
+    def test_identity_rename_is_noop(self, query):
+        assert rename_query(query, {}, {}) == query
+
+
+class TestMapLiterals:
+    def test_maps_equality_and_in(self):
+        query = parse_sql(
+            "SELECT a FROM t WHERE b = 'x' AND c IN ( 'x', 'y' )"
+        )
+        mapped = map_literals(query, {"x": "z"})
+        sql = serialize(mapped)
+        assert "'z'" in sql
+        assert "'x'" not in sql
+        assert "'y'" in sql
+
+    def test_numbers_untouched(self):
+        query = parse_sql("SELECT a FROM t WHERE b = 5")
+        assert map_literals(query, {"5": "9"}) == query
+
+    @settings(max_examples=50, deadline=None)
+    @given(queries())
+    def test_empty_map_is_noop(self, query):
+        assert map_literals(query, {}) == query
+
+
+class TestQualifyColumns:
+    def test_qualifies_single_table(self):
+        query = parse_sql("SELECT name FROM client WHERE district = 'Jesenik'")
+        qualified = qualify_columns(query)
+        assert "client.name" in qualified.columns_used()
+        assert "client.district" in qualified.columns_used()
+
+    def test_leaves_joins_alone(self):
+        query = parse_sql("SELECT name FROM a JOIN b ON a.k = b.k")
+        assert qualify_columns(query) == query
+
+    def test_star_not_qualified(self):
+        query = parse_sql("SELECT * FROM t")
+        qualified = qualify_columns(query)
+        assert qualified.select_items[0].expr == ColumnRef(table="", column="*")
+
+    @settings(max_examples=50, deadline=None)
+    @given(queries())
+    def test_idempotent(self, query):
+        once = qualify_columns(query)
+        assert qualify_columns(once) == once
+
+
+class TestTransformQuery:
+    def test_custom_literal_transform(self):
+        query = parse_sql("SELECT a FROM t WHERE b = 'x' OR b = 'y'")
+        from repro.sqlgen.ast import Literal
+
+        upper = transform_query(
+            query,
+            fix_literal=lambda lit: Literal(lit.value.upper())
+            if isinstance(lit.value, str) else lit,
+        )
+        sql = serialize(upper)
+        assert "'X'" in sql and "'Y'" in sql
+
+    @settings(max_examples=50, deadline=None)
+    @given(queries())
+    def test_identity_transform_round_trips(self, query):
+        assert transform_query(query) == query
