@@ -30,27 +30,45 @@ from repro.datasets import (
 from repro.db import Column, Database, ForeignKey, Schema, Table
 from repro.eval import (
     EvalResult,
+    FailureRecord,
     TestSuite,
     evaluate_parser,
     execution_match,
+    execution_match_outcome,
+    format_failure_report,
     pair_samples,
     print_table,
 )
 from repro.augment import SyntheticLLM, augment_domain
+from repro.reliability import (
+    CircuitBreaker,
+    Deadline,
+    FakeClock,
+    FaultyDatabase,
+    FlakyLLM,
+    RetryPolicy,
+)
 from repro.promptgen import DatabasePrompt, PromptBuilder, PromptOptions
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CODES_TIERS",
+    "CircuitBreaker",
     "CodeSParser",
     "Column",
     "Database",
     "DatabasePrompt",
+    "Deadline",
     "DemonstrationRetriever",
     "EvalResult",
+    "FailureRecord",
+    "FakeClock",
+    "FaultyDatabase",
+    "FlakyLLM",
     "ForeignKey",
     "GenerationResult",
+    "RetryPolicy",
     "MODEL_REGISTRY",
     "ModelConfig",
     "PromptBuilder",
@@ -70,6 +88,8 @@ __all__ = [
     "build_spider_variant",
     "evaluate_parser",
     "execution_match",
+    "execution_match_outcome",
+    "format_failure_report",
     "get_model_config",
     "pair_samples",
     "print_table",

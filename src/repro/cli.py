@@ -26,8 +26,10 @@ from repro.datasets import (
     build_spider,
     build_spider_variant,
 )
+from repro.errors import DeadlineExceededError
 from repro.eval.harness import evaluate_parser, pair_samples
-from repro.eval.reporting import format_table
+from repro.eval.reporting import format_failure_report, format_table
+from repro.reliability import Deadline, RetryPolicy
 
 _BUILDERS = {
     "spider": build_spider,
@@ -82,9 +84,14 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         use_external_knowledge=args.ek,
         compute_ts=args.ts,
         limit=args.limit,
+        deadline_s=args.deadline_s,
+        max_retries=args.max_retries,
         **kwargs,
     )
     print(format_table([result.as_row()], title=f"{args.model} on {args.dataset}"))
+    report = format_failure_report(result)
+    if report:
+        print(report)
     return 0
 
 
@@ -95,9 +102,30 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         parser.fit(pair_samples(dataset))
     db_id = args.db_id or next(iter(dataset.databases))
     database = dataset.databases[db_id]
-    result = parser.generate(args.question, database)
+    retry = (
+        RetryPolicy(max_attempts=args.max_retries + 1)
+        if args.max_retries
+        else None
+    )
+
+    def _generate():
+        return parser.generate(args.question, database)
+
+    result = retry.call(_generate) if retry is not None else _generate()
     print(f"SQL: {result.sql}")
-    rows = database.execute(result.sql)
+    if result.tier != "beam":
+        print(f"(answered by the {result.tier!r} fallback tier)")
+
+    def _execute():
+        deadline = (
+            Deadline.after(args.deadline_s) if args.deadline_s else None
+        )
+        return database.execute(result.sql, deadline=deadline)
+
+    try:
+        rows = retry.call(_execute) if retry is not None else _execute()
+    except DeadlineExceededError as exc:
+        sys.exit(f"query exceeded the --deadline-s budget: {exc}")
     for row in rows[:20]:
         print(" ", row)
     if len(rows) > 20:
@@ -127,6 +155,17 @@ def _cmd_augment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_reliability_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="wall-clock budget per SQL execution (seconds)",
+    )
+    subparser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retries for transient generation/execution failures",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CodeS text-to-SQL reproduction CLI"
@@ -151,6 +190,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     eval_parser.add_argument("--ts", action="store_true",
                              help="also compute test-suite accuracy")
     eval_parser.add_argument("--limit", type=int, default=None)
+    _add_reliability_flags(eval_parser)
     eval_parser.set_defaults(func=_cmd_eval)
 
     ask_parser = sub.add_parser("ask", help="translate one question to SQL")
@@ -160,6 +200,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     ask_parser.add_argument("--db-id", default=None)
     ask_parser.add_argument("--question", required=True)
+    _add_reliability_flags(ask_parser)
     ask_parser.set_defaults(func=_cmd_ask)
 
     augment_parser = sub.add_parser(

@@ -88,14 +88,25 @@ class _IndexEntry:
     pattern_vec: np.ndarray = field(repr=False, compare=False, default=None)
 
 
+#: Last-resort SQL when every generation tier fails (always executable).
+SENTINEL_SQL = "SELECT 1"
+
+
 @dataclass(frozen=True)
 class GenerationResult:
-    """The chosen SQL plus diagnostics."""
+    """The chosen SQL plus diagnostics.
+
+    ``tier`` reports which degradation tier answered: ``"beam"`` (an
+    execution-guided beam candidate), ``"skeleton"`` (the pre-training
+    skeleton-bank fallback after no beam candidate executed), or
+    ``"sentinel"`` (the safe constant query of last resort).
+    """
 
     sql: str
     executable: bool
     candidates: tuple[str, ...]
     prompt: DatabasePrompt
+    tier: str = "beam"
 
 
 class CodeSParser:
@@ -359,6 +370,7 @@ class CodeSParser:
         database: Database,
         demonstrations: list[Text2SQLExample] | None = None,
         external_knowledge: str = "",
+        degrade: bool = True,
     ) -> GenerationResult:
         """Translate ``question`` into SQL for ``database``.
 
@@ -366,6 +378,13 @@ class CodeSParser:
         (templates come from the demonstrations plus the pre-training
         skeleton bank); otherwise it uses the SFT index built by
         :meth:`fit`.
+
+        With ``degrade`` (the default) generation never raises for an
+        unanswerable question: it falls through the beam to the
+        skeleton-bank fallback and finally the safe sentinel, reporting
+        the answering tier on :attr:`GenerationResult.tier`.  Pass
+        ``degrade=False`` to restore the strict behaviour that raises
+        :class:`GenerationError` when no candidate can be built.
         """
         # External knowledge clarifies *schema linking* ("'title' refers
         # to book.t2"); it is not part of the user's ask, so literal
@@ -468,26 +487,57 @@ class CodeSParser:
                     - 0.3 * candidate.ungrounded_literals
                 )
                 candidates.append((sql, score))
-        if not candidates:
+        if not candidates and not degrade:
             raise GenerationError(
                 f"no SQL candidate could be built for question {question!r}"
             )
         candidates.sort(key=lambda pair: -pair[1])
         beam = [sql for sql, _ in candidates[: self.config.beam_size]]
+
+        # Degradation ladder: execution-guided beam -> skeleton-bank
+        # fallback -> safe sentinel.  Each tier only answers when the
+        # previous one produced nothing executable.
         chosen = None
+        tier = "beam"
         for sql in beam:
             if database.is_executable(sql):
                 chosen = sql
                 break
-        executable = chosen is not None
+        if chosen is None and degrade:
+            chosen = self._skeleton_fallback(database, ctx)
+            tier = "skeleton"
         if chosen is None:
-            chosen = beam[0]
+            if degrade:
+                chosen = SENTINEL_SQL
+                tier = "sentinel"
+            else:
+                # Legacy behaviour: surface the best-ranked candidate
+                # even though it does not execute.
+                chosen = beam[0]
+                tier = "beam"
         return GenerationResult(
             sql=chosen,
-            executable=executable,
+            executable=database.is_executable(chosen),
             candidates=tuple(beam),
             prompt=prompt,
+            tier=tier,
         )
+
+    def _skeleton_fallback(
+        self, database: Database, ctx: InstantiationContext, max_templates: int = 24
+    ) -> str | None:
+        """First executable instantiation from the pre-training bank.
+
+        The graceful-degradation middle tier: when no beam candidate
+        executes, fall back on the model's structural repertoire alone
+        and return the first instantiation the database accepts.
+        """
+        for template in self._skeleton_bank[:max_templates]:
+            for candidate in instantiate_template(template, ctx):
+                sql = serialize(candidate.query)
+                if database.is_executable(sql):
+                    return sql
+        return None
 
 
 def _blend_scores(learned, lexical):

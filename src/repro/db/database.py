@@ -9,15 +9,40 @@ that SQLite itself cannot store).
 from __future__ import annotations
 
 import sqlite3
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
-from repro.errors import ExecutionError, SchemaError
+from repro.errors import DeadlineExceededError, ExecutionError, SchemaError
 from repro.db.schema import Schema
+from repro.reliability.deadline import Deadline, ExecutionGuard
 
 Row = tuple[Any, ...]
 
 #: Abort queries after this many SQLite VM steps (guards runaway joins).
 _PROGRESS_STEPS = 20_000_000
+
+#: Polling cadence used when an outer guard must stay responsive while a
+#: nested statement runs under the VM-step budget.
+_CHAINED_POLL_STEPS = 5_000
+
+
+class _StepBudget:
+    """Progress handler bounding total VM steps, chaining an outer guard.
+
+    When a deadline guard is already installed (an outer frame), the
+    nested statement still polls it between step-budget checks, so a
+    wall-clock expiry interrupts nested queries too.
+    """
+
+    def __init__(self, budget: int, poll: int, outer=None):
+        self.remaining = budget
+        self.poll = poll
+        self.outer = outer
+
+    def __call__(self) -> int:
+        self.remaining -= self.poll
+        if self.outer is not None and self.outer():
+            return 1
+        return 1 if self.remaining <= 0 else 0
 
 
 class Database:
@@ -31,6 +56,30 @@ class Database:
         self.schema = schema
         self._conn = connection
         self._conn.execute("PRAGMA foreign_keys = OFF")
+        # sqlite3 cannot report the currently installed progress handler,
+        # so nesting is tracked here: each executing frame pushes its
+        # handler and pops back to the previous one, which is what lets
+        # an outer deadline guard survive nested execute() calls.
+        self._handler_stack: list[tuple[Callable[[], int] | None, int]] = []
+
+    # -- progress-handler stack ---------------------------------------------
+
+    def _push_progress_handler(self, callback: Callable[[], int] | None, steps: int) -> None:
+        """Install ``callback`` while remembering the current handler."""
+        self._handler_stack.append((callback, steps))
+        self._conn.set_progress_handler(callback, steps)
+
+    def _pop_progress_handler(self) -> None:
+        """Restore the handler that was active before the last push."""
+        if not self._handler_stack:
+            self._conn.set_progress_handler(None, 0)
+            return
+        self._handler_stack.pop()
+        if self._handler_stack:
+            callback, steps = self._handler_stack[-1]
+            self._conn.set_progress_handler(callback, steps)
+        else:
+            self._conn.set_progress_handler(None, 0)
 
     # -- construction -------------------------------------------------------
 
@@ -90,27 +139,46 @@ class Database:
 
     # -- execution ----------------------------------------------------------
 
-    def execute(self, sql: str, max_rows: int = 100_000) -> list[Row]:
+    def execute(
+        self, sql: str, max_rows: int = 100_000, deadline: Deadline | None = None
+    ) -> list[Row]:
         """Run ``sql`` and return its rows.
 
         Raises :class:`ExecutionError` on any SQLite error (syntax,
-        missing schema elements, interrupted query).
+        missing schema elements, interrupted query).  With a
+        ``deadline``, the statement is additionally polled against the
+        wall clock and aborted with :class:`DeadlineExceededError` —
+        a subclass of :class:`ExecutionError` — once the budget is
+        spent.
         """
-        self._conn.set_progress_handler(lambda: 1, _PROGRESS_STEPS)
+        if deadline is not None:
+            try:
+                with ExecutionGuard(self, deadline):
+                    cursor = self._conn.execute(sql)
+                    return cursor.fetchmany(max_rows)
+            except sqlite3.Error as exc:
+                raise ExecutionError(f"{type(exc).__name__}: {exc}") from exc
+        outer = self._handler_stack[-1][0] if self._handler_stack else None
+        poll = _CHAINED_POLL_STEPS if outer is not None else _PROGRESS_STEPS
+        self._push_progress_handler(_StepBudget(_PROGRESS_STEPS, poll, outer), poll)
         try:
             cursor = self._conn.execute(sql)
             return cursor.fetchmany(max_rows)
         except sqlite3.Error as exc:
             raise ExecutionError(f"{type(exc).__name__}: {exc}") from exc
         finally:
-            self._conn.set_progress_handler(None, 0)
+            self._pop_progress_handler()
 
-    def is_executable(self, sql: str) -> bool:
-        """True when ``sql`` runs without error on this database."""
+    def is_executable(self, sql: str, deadline: Deadline | None = None) -> bool:
+        """True when ``sql`` runs without error on this database.
+
+        A deadline expiry counts as "not executable": the query may be
+        valid SQL, but it cannot answer within the serving budget.
+        """
         try:
-            self.execute(sql, max_rows=1)
+            self.execute(sql, max_rows=1, deadline=deadline)
             return True
-        except ExecutionError:
+        except ExecutionError:  # includes DeadlineExceededError
             return False
 
     # -- value access -------------------------------------------------------

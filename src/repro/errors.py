@@ -29,6 +29,25 @@ class ExecutionError(ReproError):
     """Raised when executing a SQL query against a database fails."""
 
 
+class DeadlineExceededError(ExecutionError, TimeoutError):
+    """Raised when a wall-clock deadline expires mid-operation.
+
+    Subclasses :class:`ExecutionError` (timeouts are a kind of execution
+    failure, so legacy ``except ExecutionError`` paths keep working) and
+    the builtin :class:`TimeoutError` (so generic timeout handling sees
+    it too).
+    """
+
+    def __init__(self, message: str, elapsed_s: float = 0.0, budget_s: float = 0.0):
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.budget_s = budget_s
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a circuit breaker refuses a call in its open state."""
+
+
 class PromptBudgetError(ReproError):
     """Raised when a prompt cannot fit the model's context budget."""
 

@@ -1,17 +1,53 @@
-"""End-to-end evaluation harness: run a parser over a benchmark split."""
+"""End-to-end evaluation harness: run a parser over a benchmark split.
+
+The harness is fault-tolerant: per-example failures are captured and
+classified (see the taxonomy in :mod:`repro.eval.execution` plus
+``generation_failed`` here) instead of aborting the run.  Examples
+whose *gold* query cannot execute are skipped-and-recorded on a
+quarantine list — one broken benchmark entry no longer kills an entire
+evaluation — and a per-database circuit breaker stops a corrupted
+database from consuming the retry budget of every example that
+references it.
+"""
 
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.datasets.base import Text2SQLDataset, Text2SQLExample
 from repro.db.database import Database
-from repro.errors import GenerationError
-from repro.eval.execution import execution_match
+from repro.errors import ReproError
+from repro.eval.execution import (
+    GOLD_TIMEOUT,
+    GOLD_UNEXECUTABLE,
+    PREDICTION_TIMEOUT,
+    PREDICTION_UNEXECUTABLE,
+    MatchOutcome,
+    execution_match_outcome,
+)
 from repro.eval.testsuite import TestSuite
 from repro.eval.ves import valid_efficiency_score
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.clock import Clock
+from repro.reliability.retry import RetryPolicy
+
+#: Generation-side failure class (the parser raised before producing SQL).
+GENERATION_FAILED = "generation_failed"
+
+#: All failure classes a run can report, in reporting order.
+FAILURE_CLASSES = (
+    GENERATION_FAILED,
+    PREDICTION_UNEXECUTABLE,
+    PREDICTION_TIMEOUT,
+    GOLD_UNEXECUTABLE,
+    GOLD_TIMEOUT,
+)
+
+#: SQL served when every generation tier fails (always executable).
+SENTINEL_SQL = "SELECT 1"
 
 
 class SQLGenerator(Protocol):
@@ -21,9 +57,27 @@ class SQLGenerator(Protocol):
         ...
 
 
+@dataclass(frozen=True)
+class FailureRecord:
+    """One captured per-example failure (quarantine entry)."""
+
+    index: int
+    db_id: str
+    question: str
+    failure: str
+    detail: str = ""
+
+
 @dataclass
 class EvalResult:
-    """Aggregate metrics of one evaluation run."""
+    """Aggregate metrics of one evaluation run.
+
+    ``n_scored`` counts the examples whose gold query executed — the
+    denominator of EX/TS/VES.  ``failures`` holds nonzero per-class
+    failure counts, ``quarantined`` the skipped-and-recorded examples
+    (gold-side failures), and ``tiers`` how many answers each
+    generation tier produced (``beam`` / ``skeleton`` / ``sentinel``).
+    """
 
     name: str
     n_examples: int
@@ -32,6 +86,14 @@ class EvalResult:
     ves: float | None = None
     mean_latency_s: float = 0.0
     predictions: list[str] = field(default_factory=list, repr=False)
+    n_scored: int = 0
+    failures: dict[str, int] = field(default_factory=dict)
+    quarantined: list[FailureRecord] = field(default_factory=list, repr=False)
+    tiers: dict[str, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(self.failures.values())
 
     def as_row(self) -> dict[str, object]:
         row: dict[str, object] = {
@@ -44,6 +106,8 @@ class EvalResult:
         if self.ves is not None:
             row["VES%"] = round(100 * self.ves, 1)
         row["latency_s"] = round(self.mean_latency_s, 3)
+        if self.failures:
+            row["failures"] = self.n_failures
         return row
 
 
@@ -61,6 +125,12 @@ def evaluate_parser(
     ves_runs: int = 3,
     limit: int | None = None,
     name: str = "",
+    deadline_s: float | None = None,
+    retry_policy: RetryPolicy | None = None,
+    max_retries: int | None = None,
+    breaker_threshold: int = 5,
+    breaker_recovery_s: float = 30.0,
+    clock: Clock | None = None,
 ) -> EvalResult:
     """Evaluate ``parser`` on one split of ``dataset``.
 
@@ -69,6 +139,14 @@ def evaluate_parser(
     prompting, and ``k > 0`` runs k-shot ICL via the required
     ``demonstration_retriever``.  External knowledge, when enabled, is
     appended to the question exactly as the paper does for BIRD w/ EK.
+
+    Reliability knobs: ``deadline_s`` bounds each query's wall-clock
+    execution time, ``max_retries`` (or an explicit ``retry_policy``)
+    retries transient generation/execution failures with seeded
+    backoff, and each database gets a circuit breaker that opens after
+    ``breaker_threshold`` consecutive gold-side failures.  The
+    injectable ``clock`` drives deadlines, backoff sleeps, and breaker
+    recovery, so tests run without real time passing.
     """
     examples = dataset.dev if split == "dev" else dataset.train
     if limit is not None:
@@ -76,16 +154,33 @@ def evaluate_parser(
     fewshot = demonstrations_per_question is not None
     if fewshot and demonstrations_per_question > 0 and demonstration_retriever is None:
         raise ValueError("few-shot evaluation needs a demonstration retriever")
+    if max_retries is not None and max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_policy is None and max_retries:
+        retry_policy = RetryPolicy(max_attempts=max_retries + 1)
 
     suites = suites if suites is not None else {}
+    breakers: dict[str, CircuitBreaker] = {}
     hits = 0
     ts_hits = 0
     ves_total = 0.0
+    n_scored = 0
     latencies: list[float] = []
     predictions: list[str] = []
+    failures: Counter[str] = Counter()
+    quarantined: list[FailureRecord] = []
+    tiers: Counter[str] = Counter()
 
-    for example in examples:
+    for index, example in enumerate(examples):
         database = dataset.database_of(example)
+        breaker = breakers.get(example.db_id)
+        if breaker is None:
+            breaker = breakers[example.db_id] = CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                recovery_timeout_s=breaker_recovery_s,
+                clock=clock,
+                name=example.db_id,
+            )
         kwargs: dict[str, object] = {}
         if use_external_knowledge and example.external_knowledge:
             kwargs["external_knowledge"] = example.external_knowledge
@@ -97,17 +192,77 @@ def evaluate_parser(
                 kwargs["demonstrations"] = [entry.example for entry in scored]
             else:
                 kwargs["demonstrations"] = []
+
+        # -- generation, degrading to the sentinel on any library error --
         start = time.perf_counter()
         try:
-            result = parser.generate(example.question, database, **kwargs)
+            if retry_policy is not None:
+                result = retry_policy.call(
+                    lambda: parser.generate(example.question, database, **kwargs),
+                    retry_on=(ReproError,),
+                    clock=clock,
+                )
+            else:
+                result = parser.generate(example.question, database, **kwargs)
             predicted = result.sql
-        except GenerationError:
-            predicted = "SELECT 1"
+            tiers[getattr(result, "tier", "beam")] += 1
+        except ReproError as exc:
+            predicted = SENTINEL_SQL
+            tiers["sentinel"] += 1
+            failures[GENERATION_FAILED] += 1
+            quarantined.append(
+                FailureRecord(
+                    index=index,
+                    db_id=example.db_id,
+                    question=example.question,
+                    failure=GENERATION_FAILED,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
         latencies.append(time.perf_counter() - start)
         predictions.append(predicted)
 
-        correct = execution_match(database, predicted, example.sql)
-        hits += int(correct)
+        # -- classified scoring behind the database's circuit breaker --
+        if breaker.admit():
+            outcome = execution_match_outcome(
+                database,
+                predicted,
+                example.sql,
+                deadline_s=deadline_s,
+                retry_policy=retry_policy,
+                clock=clock,
+            )
+            if outcome.failure in (GOLD_UNEXECUTABLE, GOLD_TIMEOUT):
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        else:
+            outcome = MatchOutcome(
+                False,
+                GOLD_UNEXECUTABLE,
+                f"circuit open for database {example.db_id!r} "
+                f"after repeated gold failures",
+            )
+
+        if outcome.failure in (GOLD_UNEXECUTABLE, GOLD_TIMEOUT):
+            # A broken gold query says nothing about the parser: skip
+            # the example from every denominator, record why.
+            failures[outcome.failure] += 1
+            quarantined.append(
+                FailureRecord(
+                    index=index,
+                    db_id=example.db_id,
+                    question=example.question,
+                    failure=outcome.failure,
+                    detail=outcome.detail,
+                )
+            )
+            continue
+
+        n_scored += 1
+        if outcome.failure is not None:
+            failures[outcome.failure] += 1
+        hits += int(outcome.matched)
         if compute_ts:
             if example.db_id not in suites:
                 suites[example.db_id] = TestSuite(database, n_variants=ts_variants)
@@ -117,15 +272,19 @@ def evaluate_parser(
                 database, predicted, example.sql, runs=ves_runs
             )
 
-    count = max(1, len(examples))
+    count = max(1, n_scored)
     return EvalResult(
         name=name or dataset.name,
         n_examples=len(examples),
         ex=hits / count,
         ts=(ts_hits / count) if compute_ts else None,
         ves=(ves_total / count) if compute_ves else None,
-        mean_latency_s=sum(latencies) / count if latencies else 0.0,
+        mean_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
         predictions=predictions,
+        n_scored=n_scored,
+        failures={key: failures[key] for key in FAILURE_CLASSES if failures[key]},
+        quarantined=quarantined,
+        tiers=dict(tiers),
     )
 
 

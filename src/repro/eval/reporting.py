@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.eval.harness import EvalResult
 
 
 def format_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
@@ -45,3 +48,38 @@ def _cell(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def format_failure_report(result: "EvalResult", max_quarantined: int = 10) -> str:
+    """Per-class failure counts plus the quarantine list of a run.
+
+    Returns an empty string for a clean run, so callers can
+    unconditionally ``print`` the report.
+    """
+    if not result.failures and not result.quarantined:
+        return ""
+    lines = [f"failures for {result.name} ({result.n_failures} total):"]
+    for failure_class, count in result.failures.items():
+        lines.append(f"  {failure_class:<24} {count}")
+    if result.quarantined:
+        lines.append(
+            f"quarantined examples ({len(result.quarantined)} "
+            f"skipped or degraded):"
+        )
+        for record in result.quarantined[:max_quarantined]:
+            question = record.question
+            if len(question) > 48:
+                question = question[:45] + "..."
+            lines.append(
+                f"  [{record.index}] {record.db_id} {record.failure}: "
+                f"{question}"
+            )
+            if record.detail:
+                detail = record.detail
+                if len(detail) > 72:
+                    detail = detail[:69] + "..."
+                lines.append(f"      {detail}")
+        hidden = len(result.quarantined) - max_quarantined
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Reliability primitives: deadlines, retries, breakers, fault injection.
+
+This package gives the serving path first-class failure machinery:
+
+- :class:`Deadline` / :class:`ExecutionGuard` — wall-clock budgets on
+  SQL execution, enforced through SQLite's progress handler;
+- :class:`RetryPolicy` — bounded attempts with deterministic seeded
+  jittered backoff, no real sleeps in tests;
+- :class:`CircuitBreaker` — per-resource closed → open → half-open
+  protection so a corrupted database stops consuming retry budget;
+- :class:`FaultyDatabase` / :class:`FlakyLLM` — seeded fault injection
+  so every reliability path is testable deterministically.
+
+All time flows through the injectable :class:`Clock`; tests use
+:class:`FakeClock` and never sleep for real.
+"""
+
+from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.reliability.clock import Clock, FakeClock, MonotonicClock, SYSTEM_CLOCK
+from repro.reliability.deadline import Deadline, ExecutionGuard
+from repro.reliability.faults import FaultyDatabase, FlakyLLM
+from repro.reliability.retry import RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "Clock",
+    "Deadline",
+    "ExecutionGuard",
+    "FakeClock",
+    "FaultyDatabase",
+    "FlakyLLM",
+    "HALF_OPEN",
+    "MonotonicClock",
+    "OPEN",
+    "RetryPolicy",
+    "SYSTEM_CLOCK",
+]

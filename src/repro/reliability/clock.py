@@ -1,0 +1,66 @@
+"""Injectable clocks so reliability code is testable without real time.
+
+Everything in :mod:`repro.reliability` reads time through a
+:class:`Clock` instead of calling :func:`time.monotonic` directly.
+Production code uses :class:`MonotonicClock`; tests use
+:class:`FakeClock`, which only moves when told to, so deadline expiry
+and backoff schedules are fully deterministic and never sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal time source: a monotonic ``now`` and a ``sleep``."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class MonotonicClock:
+    """The real wall clock, backed by :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic tests.
+
+    ``sleep`` advances the clock instead of blocking, and every sleep
+    is recorded so tests can assert on the exact backoff schedule.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards: {seconds}")
+        self._now += seconds
+
+
+#: Shared default so callers don't allocate a clock per operation.
+SYSTEM_CLOCK = MonotonicClock()

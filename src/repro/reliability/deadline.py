@@ -1,0 +1,112 @@
+"""Wall-clock deadlines for SQL execution.
+
+The seed repository bounded runaway queries only by SQLite VM steps
+(:data:`repro.db.database._PROGRESS_STEPS`), which is hardware- and
+query-shape-dependent: a step budget that stops a runaway join on one
+machine lets it run for minutes on another.  A :class:`Deadline` is an
+absolute point on an injectable clock; :class:`ExecutionGuard` turns it
+into a SQLite progress handler that polls *elapsed time* every few
+thousand VM steps and aborts the statement once the budget is spent.
+
+The guard cooperates with :class:`repro.db.database.Database`'s
+progress-handler stack, so nested executions (``is_executable`` inside
+a metric loop, a beam probe inside the harness) restore the outer
+guard instead of clobbering it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlineExceededError
+from repro.reliability.clock import Clock, SYSTEM_CLOCK
+
+#: Poll the clock every this many SQLite VM steps.  Small enough that a
+#: runaway join is caught within milliseconds of expiry, large enough
+#: that the handler adds no measurable overhead to normal queries.
+DEFAULT_POLL_STEPS = 5_000
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute wall-clock expiry on an injectable clock."""
+
+    expires_at: float
+    budget_s: float
+    clock: Clock = field(default_factory=lambda: SYSTEM_CLOCK, repr=False)
+    started_at: float = 0.0
+
+    @classmethod
+    def after(cls, seconds: float, clock: Clock | None = None) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if seconds <= 0:
+            raise ValueError(f"deadline budget must be positive, got {seconds}")
+        clock = clock if clock is not None else SYSTEM_CLOCK
+        start = clock.now()
+        return cls(
+            expires_at=start + seconds,
+            budget_s=float(seconds),
+            clock=clock,
+            started_at=start,
+        )
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.expires_at - self.clock.now()
+
+    def elapsed(self) -> float:
+        return self.clock.now() - self.started_at
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.budget_s:.3f}s deadline "
+                f"({self.elapsed():.3f}s elapsed)",
+                elapsed_s=self.elapsed(),
+                budget_s=self.budget_s,
+            )
+
+
+class ExecutionGuard:
+    """Context manager enforcing a :class:`Deadline` on a database.
+
+    Installs a progress handler on the database's connection that
+    aborts the running statement once the deadline passes.  The target
+    must expose the progress-handler *stack* protocol of
+    :class:`repro.db.database.Database` (``_push_progress_handler`` /
+    ``_pop_progress_handler``), which is what guarantees any
+    pre-existing handler — an outer guard, the VM-step bound — is
+    restored on exit rather than cleared.
+    """
+
+    def __init__(self, database, deadline: Deadline, poll_steps: int = DEFAULT_POLL_STEPS):
+        self.database = database
+        self.deadline = deadline
+        self.poll_steps = poll_steps
+        self.tripped = False
+
+    def _on_progress(self) -> int:
+        if self.deadline.expired():
+            self.tripped = True
+            return 1  # non-zero aborts the statement
+        return 0
+
+    def __enter__(self) -> "ExecutionGuard":
+        self.deadline.check("execution")
+        self.database._push_progress_handler(self._on_progress, self.poll_steps)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.database._pop_progress_handler()
+        if self.tripped or (exc is not None and self.deadline.expired()):
+            raise DeadlineExceededError(
+                f"query exceeded its {self.deadline.budget_s:.3f}s deadline "
+                f"({self.deadline.elapsed():.3f}s elapsed)",
+                elapsed_s=self.deadline.elapsed(),
+                budget_s=self.deadline.budget_s,
+            ) from exc
+        return False

@@ -1,0 +1,137 @@
+"""Deterministic fault injection for databases and generators.
+
+Reliability code that is only exercised by real outages is untested
+code.  :class:`FaultyDatabase` and :class:`FlakyLLM` wrap the real
+components and inject the failure modes the serving path must survive
+— execution errors, timeouts, corrupted rows, generation failures — at
+configurable rates driven by a seeded RNG, so every injected fault
+sequence is reproducible from ``(seed, call order)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.errors import DeadlineExceededError, ExecutionError, GenerationError
+
+Row = tuple[Any, ...]
+
+
+def _validate_rate(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return float(value)
+
+
+class FaultyDatabase:
+    """A :class:`~repro.db.database.Database` wrapper that injects faults.
+
+    Each ``execute`` call draws once from the seeded RNG and, in order
+    of precedence, may raise an injected :class:`ExecutionError`
+    (``error_rate``), raise an injected
+    :class:`DeadlineExceededError` (``timeout_rate``), or corrupt the
+    returned rows (``corrupt_rate`` — string cells are garbled, numeric
+    cells negated).  All other attributes delegate to the wrapped
+    database, so the wrapper is drop-in anywhere a ``Database`` goes.
+    """
+
+    def __init__(
+        self,
+        database,
+        error_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self._database = database
+        self.error_rate = _validate_rate("error_rate", error_rate)
+        self.timeout_rate = _validate_rate("timeout_rate", timeout_rate)
+        self.corrupt_rate = _validate_rate("corrupt_rate", corrupt_rate)
+        self._rng = random.Random(f"faulty-database:{seed}")
+        self.injected_errors = 0
+        self.injected_timeouts = 0
+        self.injected_corruptions = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self._database, name)
+
+    def _corrupt_cell(self, cell: Any) -> Any:
+        if isinstance(cell, str):
+            return cell[::-1] + "\x00"
+        if isinstance(cell, bool):
+            return not cell
+        if isinstance(cell, (int, float)):
+            return -cell - 1
+        return None
+
+    def execute(self, sql: str, max_rows: int = 100_000, deadline=None) -> list[Row]:
+        draw = self._rng.random()
+        if draw < self.error_rate:
+            self.injected_errors += 1
+            raise ExecutionError(f"injected fault (draw={draw:.4f}): {sql[:60]!r}")
+        if draw < self.error_rate + self.timeout_rate:
+            self.injected_timeouts += 1
+            raise DeadlineExceededError(
+                f"injected timeout (draw={draw:.4f}): {sql[:60]!r}",
+                elapsed_s=float("inf"),
+            )
+        rows = self._database.execute(sql, max_rows=max_rows, deadline=deadline)
+        if draw < self.error_rate + self.timeout_rate + self.corrupt_rate and rows:
+            self.injected_corruptions += 1
+            rows = [tuple(self._corrupt_cell(cell) for cell in row) for row in rows]
+        return rows
+
+    def is_executable(self, sql: str, deadline=None) -> bool:
+        try:
+            self.execute(sql, max_rows=1, deadline=deadline)
+            return True
+        except ExecutionError:
+            return False
+
+    @property
+    def injected_faults(self) -> int:
+        return self.injected_errors + self.injected_timeouts + self.injected_corruptions
+
+
+class FlakyLLM:
+    """A generator wrapper injecting generation failures and timeouts.
+
+    Wraps anything with a ``generate(question, database, **kwargs)``
+    method (a :class:`~repro.core.parser.CodeSParser`, a baseline, a
+    stub).  Each call may raise an injected :class:`GenerationError`
+    (``failure_rate``) or :class:`DeadlineExceededError`
+    (``timeout_rate``); otherwise it delegates.
+    """
+
+    def __init__(
+        self,
+        generator,
+        failure_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self._generator = generator
+        self.failure_rate = _validate_rate("failure_rate", failure_rate)
+        self.timeout_rate = _validate_rate("timeout_rate", timeout_rate)
+        self._rng = random.Random(f"flaky-llm:{seed}")
+        self.injected_failures = 0
+        self.injected_timeouts = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self._generator, name)
+
+    def generate(self, question: str, database, **kwargs):
+        draw = self._rng.random()
+        if draw < self.failure_rate:
+            self.injected_failures += 1
+            raise GenerationError(
+                f"injected generation failure (draw={draw:.4f}) for {question[:60]!r}"
+            )
+        if draw < self.failure_rate + self.timeout_rate:
+            self.injected_timeouts += 1
+            raise DeadlineExceededError(
+                f"injected generation timeout (draw={draw:.4f}) for {question[:60]!r}",
+                elapsed_s=float("inf"),
+            )
+        return self._generator.generate(question, database, **kwargs)

@@ -1,0 +1,84 @@
+"""Bounded retries with deterministic, seeded, jittered backoff.
+
+The schedule is derived entirely from the policy's seed, so two runs
+with the same policy see byte-identical delays — no hidden global RNG.
+Delays are *applied* through an injectable clock, so tests pass a
+:class:`~repro.reliability.clock.FakeClock` and never actually sleep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import ReproError
+from repro.reliability.clock import Clock, SYSTEM_CLOCK
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter, bounded attempts.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    call plus at most two retries.  The delay before retry *k* (1-based)
+    is ``min(max_delay_s, base_delay_s * multiplier**(k-1))`` scaled by
+    a seeded uniform draw in ``[1-jitter, 1]``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must lie in [0, 1], got {self.jitter}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delays(self) -> list[float]:
+        """The deterministic backoff schedule (one delay per retry)."""
+        rng = random.Random(f"retry-policy:{self.seed}")
+        schedule = []
+        for attempt in range(1, self.max_attempts):
+            raw = min(self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1))
+            scale = 1.0 - self.jitter * rng.random()
+            schedule.append(raw * scale)
+        return schedule
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: tuple[type[BaseException], ...] = (ReproError,),
+        clock: Clock | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> T:
+        """Run ``fn`` under this policy.
+
+        Exceptions matching ``retry_on`` are retried until the attempt
+        budget is exhausted, then re-raised; anything else propagates
+        immediately.  ``on_retry(attempt, exc)`` is notified before
+        each backoff sleep.
+        """
+        clock = clock if clock is not None else SYSTEM_CLOCK
+        schedule = self.delays()
+        last_exc: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                last_exc = exc
+                if attempt == self.max_attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                clock.sleep(schedule[attempt - 1])
+        assert last_exc is not None
+        raise last_exc
