@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Architectural lint for the repro source tree.
+
+Two rules, both enforced in tier-1 (see ``tests/test_arch_lint.py``):
+
+ARCH001 — raw clock reads.  ``time.time()``, ``time.monotonic()``,
+    ``time.perf_counter()``, ``datetime.now()`` and ``datetime.utcnow()``
+    are forbidden everywhere in ``src/repro/`` except
+    ``reliability/clock.py``.  Timing must flow through the injectable
+    :class:`repro.reliability.clock.Clock` protocol so tests can use
+    ``FakeClock`` instead of sleeping.
+
+ARCH002 — blanket exception swallowing.  ``except Exception`` /
+    ``except BaseException`` / bare ``except:`` handlers must either
+    re-raise or classify the failure into the library taxonomy (raise a
+    ``ReproError`` subtype, or record it via a recognised failure sink
+    such as ``failures[...]`` / ``FailureRecord`` / ``classify*``).
+    Anything else silently converts programming errors into wrong
+    results.
+
+Usage::
+
+    python scripts/arch_lint.py [root]       # default root: src/repro
+
+Exit status is nonzero when violations are found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: module-qualified call targets whose direct use is a raw clock read.
+RAW_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+#: files (relative to the lint root, posix-style) allowed to read raw clocks.
+CLOCK_ALLOWLIST = ("reliability/clock.py",)
+
+#: identifiers whose presence in a handler marks taxonomy classification.
+TAXONOMY_SINKS = ("failures", "FailureRecord", "classify")
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _call_target(node: ast.Call) -> tuple[str, str] | None:
+    """(module-ish, attr) for ``mod.attr(...)`` calls, else None."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute):
+        # datetime.datetime.now() -> ("datetime", "now")
+        return (func.value.attr, func.attr)
+    return None
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_classifies(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name and any(sink in name for sink in TAXONOMY_SINKS):
+            return True
+    return False
+
+
+def _is_blanket(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except:
+        return True
+    node = handler.type
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(item, ast.Name) and item.id in ("Exception", "BaseException")
+            for item in node.elts
+        )
+    return isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
+
+
+def lint_source(source: str, path: str, clock_exempt: bool = False) -> list[Violation]:
+    """Lint one module's source text; ``path`` is used in messages only."""
+    tree = ast.parse(source, filename=path)
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and not clock_exempt:
+            target = _call_target(node)
+            if target in RAW_CLOCK_CALLS:
+                violations.append(
+                    Violation(
+                        path=path,
+                        line=node.lineno,
+                        rule="ARCH001",
+                        message=(
+                            f"raw clock call {target[0]}.{target[1]}(); "
+                            "inject repro.reliability.clock.Clock instead"
+                        ),
+                    )
+                )
+        elif isinstance(node, ast.ExceptHandler) and _is_blanket(node):
+            if not (_handler_reraises(node) or _handler_classifies(node)):
+                violations.append(
+                    Violation(
+                        path=path,
+                        line=node.lineno,
+                        rule="ARCH002",
+                        message=(
+                            "blanket except swallows errors; re-raise or "
+                            "classify into the failure taxonomy"
+                        ),
+                    )
+                )
+    return violations
+
+
+def lint_tree(root: Path) -> list[Violation]:
+    """Lint every ``.py`` file under ``root``."""
+    violations: list[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        clock_exempt = relative in CLOCK_ALLOWLIST
+        violations.extend(
+            lint_source(path.read_text(encoding="utf-8"), relative, clock_exempt)
+        )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src" / "repro"
+    if not root.is_dir():
+        print(f"arch_lint: no such directory {root}", file=sys.stderr)
+        return 2
+    violations = lint_tree(root)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"arch_lint: {len(violations)} violation(s)")
+        return 1
+    print(f"arch_lint: OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,13 @@ See DESIGN.md for the system inventory and the substitutions made for
 offline execution, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
+from repro.analysis import (
+    Diagnostic,
+    SchemaCatalog,
+    SemanticAnalyzer,
+    Severity,
+    lint_dataset,
+)
 from repro.config import CODES_TIERS, MODEL_REGISTRY, ModelConfig, get_model_config
 from repro.core import CodeSParser, DemonstrationRetriever, GenerationResult
 from repro.datasets import (
@@ -61,6 +68,7 @@ __all__ = [
     "DatabasePrompt",
     "Deadline",
     "DemonstrationRetriever",
+    "Diagnostic",
     "EvalResult",
     "FailureRecord",
     "FakeClock",
@@ -74,6 +82,9 @@ __all__ = [
     "PromptBuilder",
     "PromptOptions",
     "Schema",
+    "SchemaCatalog",
+    "SemanticAnalyzer",
+    "Severity",
     "SyntheticLLM",
     "Table",
     "TestSuite",
@@ -91,6 +102,7 @@ __all__ = [
     "execution_match_outcome",
     "format_failure_report",
     "get_model_config",
+    "lint_dataset",
     "pair_samples",
     "print_table",
 ]

@@ -1,0 +1,49 @@
+"""Schema-aware SQL semantic analysis.
+
+A static pre-execution gate for generated SQL: the analyzer walks the
+:mod:`repro.sqlgen` AST against a :class:`SchemaCatalog` built from
+database metadata and emits structured :class:`Diagnostic` findings
+(hallucinated tables/columns, ambiguous references, type-incompatible
+comparisons, aggregate misuse, set-operation arity, scope violations,
+off-FK joins).  Consumers:
+
+- the execution-guided beam (:mod:`repro.core.parser`) demotes
+  error-tier candidates below clean ones, saving execution round-trips;
+- the eval harness counts ``prediction_semantic_error`` failures and
+  per-rule diagnostics;
+- the augmentation pipeline rejects dirty synthetic SQL;
+- ``repro lint`` audits any benchmark's gold queries.
+"""
+
+from repro.analysis.analyzer import SemanticAnalyzer
+from repro.analysis.catalog import CatalogColumn, SchemaCatalog
+from repro.analysis.diagnostics import (
+    RULE_CODES,
+    RULE_SEVERITIES,
+    Diagnostic,
+    Severity,
+    error_count,
+    has_errors,
+)
+from repro.analysis.report import (
+    LintFinding,
+    LintReport,
+    format_lint_report,
+    lint_dataset,
+)
+
+__all__ = [
+    "CatalogColumn",
+    "Diagnostic",
+    "LintFinding",
+    "LintReport",
+    "RULE_CODES",
+    "RULE_SEVERITIES",
+    "SchemaCatalog",
+    "SemanticAnalyzer",
+    "Severity",
+    "error_count",
+    "format_lint_report",
+    "has_errors",
+    "lint_dataset",
+]

@@ -3,11 +3,12 @@
 from repro.augment.synthetic_llm import SyntheticLLM
 from repro.augment.question2sql import QuestionToSQLAugmenter
 from repro.augment.sql2question import SQLToQuestionAugmenter
-from repro.augment.pipeline import augment_domain
+from repro.augment.pipeline import admit_clean_pairs, augment_domain
 
 __all__ = [
     "QuestionToSQLAugmenter",
     "SQLToQuestionAugmenter",
     "SyntheticLLM",
+    "admit_clean_pairs",
     "augment_domain",
 ]

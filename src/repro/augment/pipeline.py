@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+from repro.analysis.analyzer import SemanticAnalyzer
+from repro.analysis.catalog import SchemaCatalog
+from repro.analysis.diagnostics import has_errors
 from repro.augment.question2sql import QuestionToSQLAugmenter
 from repro.augment.sql2question import SQLToQuestionAugmenter
 from repro.augment.synthetic_llm import SyntheticLLM
 from repro.datasets.base import Text2SQLDataset, Text2SQLExample
+from repro.db.database import Database
 from repro.errors import DatasetError
+
+
+def admit_clean_pairs(
+    pairs: list[Text2SQLExample], database: Database
+) -> list[Text2SQLExample]:
+    """Admission gate for the augmentation pool.
+
+    Synthetic pairs whose SQL lints with error-tier diagnostics against
+    ``database``'s schema catalog are rejected: admitting them would
+    teach the parser to emit hallucinated or ill-typed SQL.  Warnings
+    (off-FK joins, out-of-subset SQL) pass through.
+    """
+    analyzer = SemanticAnalyzer(SchemaCatalog.from_database(database))
+    return [
+        pair for pair in pairs if not has_errors(analyzer.analyze_sql(pair.sql))
+    ]
 
 
 def augment_domain(
@@ -20,7 +40,9 @@ def augment_domain(
     ``dataset.train`` plays the role of the few manually annotated seed
     pairs; the result combines authentic (question-to-SQL) and generic
     (SQL-to-question) pairs, plus the seeds themselves — "authenticity
-    and broad applicability" (§7).
+    and broad applicability" (§7).  Every synthetic pair passes the
+    :func:`admit_clean_pairs` semantic gate before joining the pool;
+    the seeds are trusted as-is.
     """
     if len(dataset.databases) != 1:
         raise DatasetError("domain augmentation expects a single-database dataset")
@@ -34,4 +56,5 @@ def augment_domain(
         dataset.train, gdb, n_question_to_sql
     )
     generic = SQLToQuestionAugmenter(llm, seed=seed).augment(gdb, n_sql_to_question)
-    return [*dataset.train, *authentic, *generic]
+    admitted = admit_clean_pairs([*authentic, *generic], gdb.database)
+    return [*dataset.train, *admitted]

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import random
 
+from repro.analysis.analyzer import SemanticAnalyzer
+from repro.analysis.catalog import SchemaCatalog
+from repro.analysis.diagnostics import has_errors
 from repro.augment.synthetic_llm import SyntheticLLM
 from repro.datasets.base import Text2SQLExample
 from repro.datasets.generator import GeneratedDatabase
@@ -80,8 +83,15 @@ class SQLToQuestionAugmenter:
         self._rng = random.Random(f"sql2question:{seed}")
 
     def augment(self, gdb: GeneratedDatabase, n_pairs: int) -> list[Text2SQLExample]:
-        """Up to ``n_pairs`` refined (question, SQL) pairs for ``gdb``."""
+        """Up to ``n_pairs`` refined (question, SQL) pairs for ``gdb``.
+
+        Sampled SQL is admitted only when it lints clean against the
+        database's schema catalog: a dirty template instantiation would
+        train the parser to reproduce hallucinated or ill-typed SQL, so
+        it is rejected here and another sample is drawn instead.
+        """
         ids = template_ids()
+        analyzer = SemanticAnalyzer(SchemaCatalog.from_database(gdb.database))
         pairs: list[Text2SQLExample] = []
         seen_sql: set[str] = set()
         attempts = 0
@@ -92,6 +102,8 @@ class SQLToQuestionAugmenter:
             if sampled is None or sampled.sql in seen_sql:
                 continue
             seen_sql.add(sampled.sql)
+            if has_errors(analyzer.analyze_sql(sampled.sql)):
+                continue
             stiff = templated_question(parse_sql(sampled.sql))
             refined = self.llm.refine_question(stiff, name_map=_name_map(gdb))
             pairs.append(

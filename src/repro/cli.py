@@ -6,6 +6,7 @@ Subcommands::
     repro eval --dataset spider --model codes-7b [--mode sft|fewshot|zeroshot]
     repro ask --dataset bank_financials --question "How many clients..."
     repro augment --domain bank_financials --out pairs.json
+    repro lint --dataset all                # audit gold SQL semantically
 
 Everything runs offline and deterministically.
 """
@@ -16,6 +17,7 @@ import argparse
 import json
 import sys
 
+from repro.analysis import format_lint_report
 from repro.augment import augment_domain
 from repro.config import MODEL_REGISTRY
 from repro.core import CodeSParser, DemonstrationRetriever
@@ -23,9 +25,11 @@ from repro.datasets import (
     build_aminer_simplified,
     build_bank_financials,
     build_bird,
+    build_dr_spider,
     build_spider,
     build_spider_variant,
 )
+from repro.datasets.drspider import all_perturbation_names
 from repro.errors import DeadlineExceededError
 from repro.eval.harness import evaluate_parser, pair_samples
 from repro.eval.reporting import format_failure_report, format_table
@@ -133,6 +137,46 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_targets(name: str) -> list[str]:
+    if name == "all":
+        return [*_BUILDERS, "dr-spider"]
+    if name in _BUILDERS or name == "dr-spider":
+        return [name]
+    sys.exit(
+        f"unknown dataset {name!r}; choose from "
+        f"{sorted([*_BUILDERS, 'dr-spider', 'all'])}"
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    splits = tuple(args.splits.split(","))
+    rows = []
+    dirty = 0
+    for name in _lint_targets(args.dataset):
+        if name == "dr-spider":
+            spider = build_spider()
+            datasets = [
+                build_dr_spider(perturbation, spider=spider)
+                for perturbation in all_perturbation_names()
+            ]
+        else:
+            datasets = [_BUILDERS[name]()]
+        for dataset in datasets:
+            report = dataset.lint(splits=splits)
+            rows.append(report.as_row())
+            dirty += len(report.error_findings)
+            if report.findings and args.verbose:
+                print(format_lint_report(report, max_findings=args.max_findings))
+            elif report.error_findings:
+                print(format_lint_report(report, max_findings=args.max_findings))
+    print(format_table(rows, title=f"Gold SQL lint audit (splits: {args.splits})"))
+    if dirty:
+        print(f"FAIL: {dirty} gold queries carry error-tier diagnostics")
+        return 1
+    print("OK: no error-tier diagnostics in gold SQL")
+    return 0
+
+
 def _cmd_augment(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args.domain)
     pairs = augment_domain(
@@ -215,6 +259,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
     augment_parser.add_argument("--seed", type=int, default=0)
     augment_parser.add_argument("--out", default=None)
     augment_parser.set_defaults(func=_cmd_augment)
+
+    lint_parser = sub.add_parser(
+        "lint", help="statically audit a benchmark's gold SQL"
+    )
+    lint_parser.add_argument(
+        "--dataset", default="all",
+        help="benchmark name, 'dr-spider' for all perturbations, or 'all'",
+    )
+    lint_parser.add_argument(
+        "--splits", default="train,dev",
+        help="comma-separated splits to audit (default: train,dev)",
+    )
+    lint_parser.add_argument(
+        "--max-findings", type=int, default=10,
+        help="dirty queries to print per dataset",
+    )
+    lint_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print reports for datasets with warnings only",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

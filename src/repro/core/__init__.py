@@ -7,6 +7,11 @@ the execution-guided beam — the full pipeline of the paper.
 """
 
 from repro.core.retriever import DemonstrationRetriever
-from repro.core.parser import CodeSParser, GenerationResult
+from repro.core.parser import CodeSParser, GenerationResult, lint_gated_order
 
-__all__ = ["CodeSParser", "DemonstrationRetriever", "GenerationResult"]
+__all__ = [
+    "CodeSParser",
+    "DemonstrationRetriever",
+    "GenerationResult",
+    "lint_gated_order",
+]

@@ -13,8 +13,14 @@ Pipeline per question:
    retrieved values, and question literals;
 4. **ranking** — candidates are scored by template similarity plus the
    pre-trained LM's sequence prior;
-5. **execution-guided beam** (§9.1.4) — of the top ``beam_size``
-   candidates, the first that executes on the database wins.
+5. **lint gate** (:mod:`repro.analysis`) — beam candidates are
+   statically analyzed against the database's schema catalog;
+   candidates with error-tier diagnostics (hallucinated columns,
+   aggregate misuse, type-incompatible predicates) are demoted below
+   clean ones, so execution round-trips are spent on plausible SQL;
+6. **execution-guided beam** (§9.1.4) — of the top ``beam_size``
+   candidates in linted order, the first that executes on the database
+   wins.
 
 Model tiers (1B…15B) differ in embedder width, n-gram order, skeleton
 capacity and slot depth — see :mod:`repro.config`.
@@ -25,9 +31,13 @@ from __future__ import annotations
 import re
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.analysis.analyzer import SemanticAnalyzer
+from repro.analysis.catalog import SchemaCatalog
+from repro.analysis.diagnostics import Diagnostic, has_errors
 from repro.config import ModelConfig, get_model_config
 from repro.datasets.base import Text2SQLExample
 from repro.db.database import Database
@@ -100,6 +110,14 @@ class GenerationResult:
     execution-guided beam candidate), ``"skeleton"`` (the pre-training
     skeleton-bank fallback after no beam candidate executed), or
     ``"sentinel"`` (the safe constant query of last resort).
+
+    Lint-gate accounting (all zero when the gate is disabled):
+    ``diagnostics`` carries the analyzer findings for the chosen SQL,
+    ``lint_demoted`` how many beam candidates were demoted for
+    error-tier diagnostics, ``executions_used`` how many beam
+    candidates were actually executed, and ``executions_avoided`` how
+    many demoted candidates ranked above the winner but were never
+    executed — round-trips the ungated beam would have spent.
     """
 
     sql: str
@@ -107,6 +125,27 @@ class GenerationResult:
     candidates: tuple[str, ...]
     prompt: DatabasePrompt
     tier: str = "beam"
+    diagnostics: tuple[Diagnostic, ...] = ()
+    lint_demoted: int = 0
+    executions_used: int = 0
+    executions_avoided: int = 0
+
+
+def lint_gated_order(
+    beam: list[str], analyzer: SemanticAnalyzer
+) -> tuple[list[str], dict[str, tuple[Diagnostic, ...]]]:
+    """Reorder ``beam`` so statically clean candidates execute first.
+
+    Candidates with error-tier diagnostics keep their relative ranking
+    but sink below every clean candidate — they are still reachable
+    (static analysis can be wrong; executability has the last word) but
+    no longer burn execution round-trips ahead of plausible SQL.
+    Returns the reordered beam plus each candidate's diagnostics.
+    """
+    diagnostics = {sql: tuple(analyzer.analyze_sql(sql)) for sql in beam}
+    clean = [sql for sql in beam if not has_errors(diagnostics[sql])]
+    dirty = [sql for sql in beam if has_errors(diagnostics[sql])]
+    return clean + dirty, diagnostics
 
 
 class CodeSParser:
@@ -119,9 +158,15 @@ class CodeSParser:
         seed: int = 0,
         use_pattern_similarity: bool = True,
         config: ModelConfig | None = None,
+        lint_gate: bool = True,
+        beam_perturber: Callable[[list[str]], list[str]] | None = None,
     ):
         self.config = config or get_model_config(model)
         self.use_pattern_similarity = use_pattern_similarity
+        self.lint_gate = lint_gate
+        #: Fault-injection hook (e.g. reliability.SchemaHallucinator):
+        #: rewrites the assembled beam before the lint gate sees it.
+        self.beam_perturber = beam_perturber
         options = options or PromptOptions()
         # The model's context length caps the prompt budget (Table 1:
         # CodeS-15B has the shorter 6,144-token context).
@@ -145,6 +190,7 @@ class CodeSParser:
         self._index: list[_IndexEntry] = []
         self._skeleton_bank: list[Query] = self._mine_skeleton_bank()
         self._builders: dict[tuple[int, int], PromptBuilder] = {}
+        self._analyzers: dict[int, SemanticAnalyzer] = {}
 
     # -- pre-training knowledge ----------------------------------------------
 
@@ -309,6 +355,21 @@ class CodeSParser:
                 database, classifier=self.classifier, options=self.options
             )
         return self._builders[key]
+
+    def _analyzer_for(self, database: Database) -> SemanticAnalyzer:
+        """The (cached) semantic analyzer over the database's full schema.
+
+        The catalog deliberately uses the *unfiltered* schema: the
+        prompt's filtered view drops low-scoring columns, and a beam
+        candidate referencing a real-but-unprompted column is valid SQL,
+        not a hallucination.
+        """
+        key = id(database)
+        if key not in self._analyzers:
+            self._analyzers[key] = SemanticAnalyzer(
+                SchemaCatalog.from_database(database)
+            )
+        return self._analyzers[key]
 
     # -- template retrieval ------------------------------------------------------
 
@@ -493,13 +554,29 @@ class CodeSParser:
             )
         candidates.sort(key=lambda pair: -pair[1])
         beam = [sql for sql, _ in candidates[: self.config.beam_size]]
+        if self.beam_perturber is not None and beam:
+            beam = list(self.beam_perturber(beam))
+
+        # Lint gate: statically dirty candidates sink below clean ones,
+        # so the execution-guided loop spends round-trips on SQL that at
+        # least references the schema it claims to.
+        lint: dict[str, tuple[Diagnostic, ...]] = {}
+        if self.lint_gate and beam:
+            ordered, lint = lint_gated_order(beam, self._analyzer_for(database))
+        else:
+            ordered = beam
+        demoted = {sql for sql, diags in lint.items() if has_errors(diags)}
 
         # Degradation ladder: execution-guided beam -> skeleton-bank
         # fallback -> safe sentinel.  Each tier only answers when the
         # previous one produced nothing executable.
         chosen = None
         tier = "beam"
-        for sql in beam:
+        executions_used = 0
+        executed: set[str] = set()
+        for sql in ordered:
+            executions_used += 1
+            executed.add(sql)
             if database.is_executable(sql):
                 chosen = sql
                 break
@@ -513,14 +590,28 @@ class CodeSParser:
             else:
                 # Legacy behaviour: surface the best-ranked candidate
                 # even though it does not execute.
-                chosen = beam[0]
+                chosen = ordered[0]
                 tier = "beam"
+        # Executions avoided: demoted candidates that outranked the
+        # winner in the raw beam — the ungated loop would have executed
+        # each of them before reaching the winner.
+        executions_avoided = 0
+        if tier == "beam" and chosen in beam:
+            executions_avoided = sum(
+                1
+                for sql in beam[: beam.index(chosen)]
+                if sql in demoted and sql not in executed
+            )
         return GenerationResult(
             sql=chosen,
             executable=database.is_executable(chosen),
-            candidates=tuple(beam),
+            candidates=tuple(ordered),
             prompt=prompt,
             tier=tier,
+            diagnostics=lint.get(chosen, ()),
+            lint_demoted=len(demoted),
+            executions_used=executions_used,
+            executions_avoided=executions_avoided,
         )
 
     def _skeleton_fallback(

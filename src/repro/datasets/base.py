@@ -62,6 +62,19 @@ class Text2SQLDataset:
                         f"execute: {example.sql!r}"
                     )
 
+    def lint(self, splits: tuple[str, ...] = ("train", "dev")):
+        """Semantic-analysis audit of every gold query.
+
+        Returns a :class:`repro.analysis.report.LintReport`.  Unlike
+        :meth:`validate`, which executes each gold query, this is a
+        purely static check — it catches queries that *would* execute
+        but reference the schema incoherently (the drift mode renames
+        and template edits introduce).
+        """
+        from repro.analysis.report import lint_dataset
+
+        return lint_dataset(self, splits=splits)
+
     def summary(self) -> str:
         return (
             f"{self.name}: {len(self.databases)} databases, "

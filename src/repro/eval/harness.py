@@ -12,11 +12,13 @@ references it.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro.analysis.analyzer import SemanticAnalyzer
+from repro.analysis.catalog import SchemaCatalog
+from repro.analysis.diagnostics import has_errors
 from repro.datasets.base import Text2SQLDataset, Text2SQLExample
 from repro.db.database import Database
 from repro.errors import ReproError
@@ -31,17 +33,23 @@ from repro.eval.execution import (
 from repro.eval.testsuite import TestSuite
 from repro.eval.ves import valid_efficiency_score
 from repro.reliability.breaker import CircuitBreaker
-from repro.reliability.clock import Clock
+from repro.reliability.clock import SYSTEM_CLOCK, Clock
 from repro.reliability.retry import RetryPolicy
 
 #: Generation-side failure class (the parser raised before producing SQL).
 GENERATION_FAILED = "generation_failed"
+
+#: The prediction executed but carries error-tier semantic diagnostics
+#: (hallucinated schema, aggregate misuse, incompatible types) and did
+#: not match gold — the silent-wrong-result class executability hides.
+PREDICTION_SEMANTIC_ERROR = "prediction_semantic_error"
 
 #: All failure classes a run can report, in reporting order.
 FAILURE_CLASSES = (
     GENERATION_FAILED,
     PREDICTION_UNEXECUTABLE,
     PREDICTION_TIMEOUT,
+    PREDICTION_SEMANTIC_ERROR,
     GOLD_UNEXECUTABLE,
     GOLD_TIMEOUT,
 )
@@ -77,6 +85,11 @@ class EvalResult:
     failure counts, ``quarantined`` the skipped-and-recorded examples
     (gold-side failures), and ``tiers`` how many answers each
     generation tier produced (``beam`` / ``skeleton`` / ``sentinel``).
+
+    Semantic-analysis accounting: ``diagnostics`` maps analyzer rule
+    codes to how often they fired across all predictions, and
+    ``executions_avoided`` totals the execution round-trips the lint
+    gate saved inside the beam (0 for parsers without the gate).
     """
 
     name: str
@@ -90,6 +103,8 @@ class EvalResult:
     failures: dict[str, int] = field(default_factory=dict)
     quarantined: list[FailureRecord] = field(default_factory=list, repr=False)
     tiers: dict[str, int] = field(default_factory=dict, repr=False)
+    diagnostics: dict[str, int] = field(default_factory=dict, repr=False)
+    executions_avoided: int = 0
 
     @property
     def n_failures(self) -> int:
@@ -159,17 +174,21 @@ def evaluate_parser(
     if retry_policy is None and max_retries:
         retry_policy = RetryPolicy(max_attempts=max_retries + 1)
 
+    clock = clock or SYSTEM_CLOCK
     suites = suites if suites is not None else {}
     breakers: dict[str, CircuitBreaker] = {}
+    analyzers: dict[str, SemanticAnalyzer] = {}
     hits = 0
     ts_hits = 0
     ves_total = 0.0
     n_scored = 0
+    executions_avoided = 0
     latencies: list[float] = []
     predictions: list[str] = []
     failures: Counter[str] = Counter()
     quarantined: list[FailureRecord] = []
     tiers: Counter[str] = Counter()
+    diagnostics: Counter[str] = Counter()
 
     for index, example in enumerate(examples):
         database = dataset.database_of(example)
@@ -194,7 +213,7 @@ def evaluate_parser(
                 kwargs["demonstrations"] = []
 
         # -- generation, degrading to the sentinel on any library error --
-        start = time.perf_counter()
+        start = clock.now()
         try:
             if retry_policy is not None:
                 result = retry_policy.call(
@@ -206,6 +225,7 @@ def evaluate_parser(
                 result = parser.generate(example.question, database, **kwargs)
             predicted = result.sql
             tiers[getattr(result, "tier", "beam")] += 1
+            executions_avoided += getattr(result, "executions_avoided", 0)
         except ReproError as exc:
             predicted = SENTINEL_SQL
             tiers["sentinel"] += 1
@@ -219,8 +239,19 @@ def evaluate_parser(
                     detail=f"{type(exc).__name__}: {exc}",
                 )
             )
-        latencies.append(time.perf_counter() - start)
+        latencies.append(clock.now() - start)
         predictions.append(predicted)
+
+        # -- static semantic audit of the prediction --------------------------
+        analyzer = analyzers.get(example.db_id)
+        if analyzer is None:
+            analyzer = analyzers[example.db_id] = SemanticAnalyzer(
+                SchemaCatalog.from_database(database)
+            )
+        prediction_diags = analyzer.analyze_sql(predicted)
+        for diagnostic in prediction_diags:
+            diagnostics[diagnostic.code] += 1
+        semantically_dirty = has_errors(prediction_diags)
 
         # -- classified scoring behind the database's circuit breaker --
         if breaker.admit():
@@ -262,6 +293,10 @@ def evaluate_parser(
         n_scored += 1
         if outcome.failure is not None:
             failures[outcome.failure] += 1
+        elif semantically_dirty and not outcome.matched:
+            # Executed, missed, and the analyzer saw why coming: the
+            # silent-wrong-result class plain executability cannot flag.
+            failures[PREDICTION_SEMANTIC_ERROR] += 1
         hits += int(outcome.matched)
         if compute_ts:
             if example.db_id not in suites:
@@ -269,7 +304,7 @@ def evaluate_parser(
             ts_hits += int(suites[example.db_id].check(predicted, example.sql))
         if compute_ves:
             ves_total += valid_efficiency_score(
-                database, predicted, example.sql, runs=ves_runs
+                database, predicted, example.sql, runs=ves_runs, clock=clock
             )
 
     count = max(1, n_scored)
@@ -285,6 +320,8 @@ def evaluate_parser(
         failures={key: failures[key] for key in FAILURE_CLASSES if failures[key]},
         quarantined=quarantined,
         tiers=dict(tiers),
+        diagnostics=dict(diagnostics),
+        executions_avoided=executions_avoided,
     )
 
 

@@ -18,7 +18,7 @@ All time flows through the injectable :class:`Clock`; tests use
 from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.reliability.clock import Clock, FakeClock, MonotonicClock, SYSTEM_CLOCK
 from repro.reliability.deadline import Deadline, ExecutionGuard
-from repro.reliability.faults import FaultyDatabase, FlakyLLM
+from repro.reliability.faults import FaultyDatabase, FlakyLLM, SchemaHallucinator
 from repro.reliability.retry import RetryPolicy
 
 __all__ = [
@@ -35,4 +35,5 @@ __all__ = [
     "OPEN",
     "RetryPolicy",
     "SYSTEM_CLOCK",
+    "SchemaHallucinator",
 ]

@@ -6,6 +6,9 @@ components and inject the failure modes the serving path must survive
 — execution errors, timeouts, corrupted rows, generation failures — at
 configurable rates driven by a seeded RNG, so every injected fault
 sequence is reproducible from ``(seed, call order)`` alone.
+:class:`SchemaHallucinator` injects the *semantic* failure mode — beam
+candidates referencing hallucinated schema items — that the lint gate
+(:mod:`repro.analysis`) exists to catch.
 """
 
 from __future__ import annotations
@@ -13,7 +16,12 @@ from __future__ import annotations
 import random
 from typing import Any
 
-from repro.errors import DeadlineExceededError, ExecutionError, GenerationError
+from repro.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    GenerationError,
+    SQLSyntaxError,
+)
 
 Row = tuple[Any, ...]
 
@@ -92,6 +100,66 @@ class FaultyDatabase:
     @property
     def injected_faults(self) -> int:
         return self.injected_errors + self.injected_timeouts + self.injected_corruptions
+
+
+class SchemaHallucinator:
+    """A beam perturber that injects hallucinated-schema candidates.
+
+    Real LLMs routinely hallucinate near-miss schema items (the
+    dominant error class in Rajkumar et al.'s audit); this repro's
+    retrieval-and-fill generator is schema-grounded and cannot.  The
+    hallucinator restores that failure mode deterministically so the
+    lint gate has something to catch: install it as
+    ``CodeSParser(beam_perturber=...)`` and, at ``rate`` per beam, it
+    prepends ``n_candidates`` copies of the top candidate whose last
+    schema identifier is renamed to a near-miss name.  The corrupted
+    SQL still parses — it fails *semantically* (unknown table/column),
+    which is exactly the class of candidate the ungated beam pays an
+    execution round-trip to reject.
+    """
+
+    def __init__(self, rate: float = 1.0, n_candidates: int = 2, seed: int = 0):
+        self.rate = _validate_rate("rate", rate)
+        self.n_candidates = n_candidates
+        self._rng = random.Random(f"schema-hallucinator:{seed}")
+        self.injected_candidates = 0
+
+    def __call__(self, beam: list[str]) -> list[str]:
+        if not beam or self._rng.random() >= self.rate:
+            return beam
+        corrupted = []
+        for index in range(self.n_candidates):
+            bad = self._hallucinate(beam[0], index)
+            if bad is not None and bad not in beam and bad not in corrupted:
+                corrupted.append(bad)
+        self.injected_candidates += len(corrupted)
+        return corrupted + beam
+
+    def _hallucinate(self, sql: str, variant: int) -> str | None:
+        """Rename the last schema identifier in ``sql`` to a near-miss."""
+        from repro.sqlgen.lexer import TokenKind, tokenize_sql
+
+        try:
+            tokens = tokenize_sql(sql)
+        except SQLSyntaxError:
+            return None
+        targets = [
+            token
+            for position, token in enumerate(tokens)
+            if token.kind is TokenKind.IDENTIFIER
+            # skip function names: f(...) stays callable
+            and not (
+                position + 1 < len(tokens)
+                and tokens[position + 1].kind is TokenKind.PUNCT
+                and tokens[position + 1].value == "("
+            )
+        ]
+        if not targets:
+            return None
+        token = targets[-1]
+        phantom = f"{token.value}_x{variant}"
+        end = token.position + len(token.value)
+        return sql[: token.position] + phantom + sql[end:]
 
 
 class FlakyLLM:

@@ -23,6 +23,7 @@ from repro.sqlgen.parser import parse_sql
 from repro.sqlgen.serializer import serialize
 from repro.sqlgen.normalizer import normalize_sql
 from repro.sqlgen.skeleton import extract_skeleton, skeleton_of_query
+from repro.sqlgen.spans import Span, identifier_span
 
 __all__ = [
     "Aggregation",
@@ -36,7 +37,9 @@ __all__ = [
     "Query",
     "SQLToken",
     "SelectItem",
+    "Span",
     "TokenKind",
+    "identifier_span",
     "extract_skeleton",
     "normalize_sql",
     "parse_sql",

@@ -242,6 +242,26 @@ class Query:
             literals.extend(self.compound_query.literals_used())
         return literals
 
+    def local_tables(self) -> tuple[str, ...]:
+        """Tables visible in this query level's own FROM/JOIN scope.
+
+        Document order, original casing, no recursion into subqueries or
+        compound arms — this is the name-resolution scope a semantic
+        analyzer uses for the query's own column references.
+        """
+        return (self.from_table, *(edge.table for edge in self.joins))
+
+    def subqueries(self) -> Iterator["Query"]:
+        """Immediate subqueries of this level (IN / comparison RHS)."""
+        yield from self._subqueries()
+
+    def compound_chain(self) -> Iterator["Query"]:
+        """This query followed by each compound arm, left to right."""
+        current: Query | None = self
+        while current is not None:
+            yield current
+            current = current.compound_query
+
     def _conditions(self) -> Iterator[Condition]:
         if self.where is not None:
             yield self.where

@@ -1,0 +1,77 @@
+"""Source spans for SQL identifiers.
+
+The AST (:mod:`repro.sqlgen.ast`) is position-free — nodes are frozen
+value objects shared by the generator, the serializer and the skeleton
+miner, so threading offsets through them would tax every producer.
+Instead, diagnostics that want to point at source text re-lex the
+original SQL (lexing is linear and the strings are short) and locate
+the n-th occurrence of the offending identifier here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+from repro.sqlgen.lexer import SQLToken, TokenKind, tokenize_sql
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open ``[start, end)`` character range in the source SQL."""
+
+    start: int
+    end: int
+
+    def slice(self, sql: str) -> str:
+        return sql[self.start:self.end]
+
+
+def identifier_span(sql: str, identifier: str, occurrence: int = 0) -> Span | None:
+    """Span of the n-th occurrence of ``identifier`` in ``sql``.
+
+    ``identifier`` may be a bare name (``balance``), a dotted reference
+    (``account.balance``), or a function name; matching is
+    case-insensitive on the token stream, so string literals that happen
+    to contain the name never match.  Returns ``None`` when the SQL does
+    not lex or the identifier is absent (e.g. it came from a
+    hand-constructed AST rather than this SQL text).
+    """
+    try:
+        tokens = tokenize_sql(sql)
+    except SQLSyntaxError:
+        return None
+    wanted = identifier.lower()
+    seen = 0
+    parts = wanted.split(".")
+    for index, token in enumerate(tokens):
+        if token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+            continue
+        if len(parts) == 2:
+            matched = _dotted_match(tokens, index, parts)
+            if matched is None:
+                continue
+            if seen == occurrence:
+                return Span(token.position, matched)
+            seen += 1
+        elif token.lower() == wanted:
+            if seen == occurrence:
+                return Span(token.position, token.position + len(token.value))
+            seen += 1
+    return None
+
+
+def _dotted_match(tokens: list[SQLToken], index: int, parts: list[str]) -> int | None:
+    """End offset when ``tokens[index:index+3]`` spell ``table.column``."""
+    if index + 2 >= len(tokens):
+        return None
+    table, dot, column = tokens[index], tokens[index + 1], tokens[index + 2]
+    if table.lower() != parts[0]:
+        return None
+    if dot.kind is not TokenKind.PUNCT or dot.value != ".":
+        return None
+    if column.kind is TokenKind.STAR and parts[1] == "*":
+        return column.position + 1
+    if column.kind is TokenKind.IDENTIFIER and column.lower() == parts[1]:
+        return column.position + len(column.value)
+    return None

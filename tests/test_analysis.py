@@ -1,0 +1,371 @@
+"""Schema-aware semantic analyzer: per-rule units, golden gold-SQL audit,
+and the lint-gated beam."""
+
+import pytest
+
+from repro.analysis import (
+    SchemaCatalog,
+    SemanticAnalyzer,
+    Severity,
+    has_errors,
+    lint_dataset,
+)
+from repro.analysis.diagnostics import (
+    AGGREGATE_IN_WHERE,
+    AMBIGUOUS_COLUMN,
+    HAVING_SCOPE,
+    JOIN_NO_FK,
+    ORDER_BY_SCOPE,
+    PARSE_ERROR,
+    SET_OP_ARITY,
+    TABLE_NOT_IN_SCOPE,
+    TYPE_MISMATCH,
+    UNGROUPED_COLUMN,
+    UNKNOWN_COLUMN,
+    UNKNOWN_TABLE,
+)
+from repro.core import lint_gated_order
+from repro.datasets import (
+    build_aminer_simplified,
+    build_bank_financials,
+    build_bird,
+    build_dr_spider,
+    build_spider,
+    build_spider_variant,
+)
+from repro.datasets.drspider import all_perturbation_names
+from repro.db import Column, Database, Schema, Table
+
+from tests.fixtures import bank_database
+
+pytestmark = pytest.mark.analysis
+
+
+@pytest.fixture(scope="module")
+def analyzer() -> SemanticAnalyzer:
+    return SemanticAnalyzer(SchemaCatalog.from_database(bank_database()))
+
+
+def codes(analyzer: SemanticAnalyzer, sql: str) -> list[str]:
+    return [d.code for d in analyzer.analyze_sql(sql)]
+
+
+class TestPerRule:
+    """One positive and one negative case per rule."""
+
+    def test_unknown_table(self, analyzer):
+        assert UNKNOWN_TABLE in codes(analyzer, "SELECT * FROM branches")
+        assert codes(analyzer, "SELECT * FROM client") == []
+
+    def test_unknown_column(self, analyzer):
+        assert codes(analyzer, "SELECT salary FROM client") == [UNKNOWN_COLUMN]
+        assert codes(analyzer, "SELECT name FROM client") == []
+
+    def test_unknown_column_qualified(self, analyzer):
+        sql = "SELECT client.salary FROM client"
+        assert codes(analyzer, sql) == [UNKNOWN_COLUMN]
+
+    def test_table_not_in_scope(self, analyzer):
+        sql = "SELECT account.balance FROM client"
+        assert codes(analyzer, sql) == [TABLE_NOT_IN_SCOPE]
+        joined = (
+            "SELECT account.balance FROM client JOIN account "
+            "ON client.client_id = account.client_id"
+        )
+        assert codes(analyzer, joined) == []
+
+    def test_ambiguous_column(self, analyzer):
+        sql = (
+            "SELECT client_id FROM client JOIN account "
+            "ON client.client_id = account.client_id"
+        )
+        assert codes(analyzer, sql) == [AMBIGUOUS_COLUMN]
+        qualified = sql.replace("SELECT client_id", "SELECT client.client_id")
+        assert codes(analyzer, qualified) == []
+
+    def test_type_mismatch_text_literal_vs_numeric(self, analyzer):
+        sql = "SELECT * FROM account WHERE balance = 'lots'"
+        assert codes(analyzer, sql) == [TYPE_MISMATCH]
+        # a numeric string coerces under SQLite affinity — clean.
+        assert codes(analyzer, "SELECT * FROM account WHERE balance = '100'") == []
+
+    def test_type_mismatch_numeric_literal_vs_text(self, analyzer):
+        assert codes(analyzer, "SELECT * FROM client WHERE name = 5") == [
+            TYPE_MISMATCH
+        ]
+        assert codes(analyzer, "SELECT * FROM client WHERE name = 'Maria Garcia'") == []
+
+    def test_type_mismatch_sum_over_text(self, analyzer):
+        assert codes(analyzer, "SELECT SUM(name) FROM client") == [TYPE_MISMATCH]
+        assert codes(analyzer, "SELECT SUM(balance) FROM account") == []
+
+    def test_type_mismatch_non_count_star(self, analyzer):
+        assert codes(analyzer, "SELECT AVG(*) FROM account") == [TYPE_MISMATCH]
+        assert codes(analyzer, "SELECT COUNT(*) FROM account") == []
+
+    def test_aggregate_in_where(self, analyzer):
+        sql = "SELECT name FROM client WHERE COUNT(*) > 2"
+        assert AGGREGATE_IN_WHERE in codes(analyzer, sql)
+        having = (
+            "SELECT district FROM client GROUP BY district HAVING COUNT(*) > 2"
+        )
+        assert codes(analyzer, having) == []
+
+    def test_ungrouped_column(self, analyzer):
+        sql = "SELECT name, COUNT(*) FROM client GROUP BY district"
+        assert codes(analyzer, sql) == [UNGROUPED_COLUMN]
+        grouped = "SELECT district, COUNT(*) FROM client GROUP BY district"
+        assert codes(analyzer, grouped) == []
+
+    def test_select_star_under_group_by(self, analyzer):
+        sql = "SELECT * FROM client GROUP BY district"
+        assert codes(analyzer, sql) == [UNGROUPED_COLUMN]
+
+    def test_set_op_arity(self, analyzer):
+        sql = "SELECT name FROM client UNION SELECT account_id, balance FROM account"
+        assert SET_OP_ARITY in codes(analyzer, sql)
+        balanced = "SELECT name FROM client UNION SELECT status FROM loan"
+        assert codes(analyzer, balanced) == []
+
+    def test_having_scope(self, analyzer):
+        sql = (
+            "SELECT district FROM client GROUP BY district "
+            "HAVING name = 'Maria Garcia'"
+        )
+        assert HAVING_SCOPE in codes(analyzer, sql)
+        # the sqlgen grammar cannot produce HAVING without GROUP BY, so
+        # exercise that rule on a hand-edited AST.
+        import dataclasses
+
+        from repro.sqlgen.parser import parse_sql
+
+        grouped = parse_sql(
+            "SELECT district FROM client GROUP BY district HAVING COUNT(*) > 1"
+        )
+        no_group = dataclasses.replace(grouped, group_by=())
+        assert HAVING_SCOPE in [d.code for d in analyzer.analyze(no_group)]
+
+    def test_order_by_scope(self, analyzer):
+        sql = "SELECT district FROM client GROUP BY district ORDER BY name"
+        assert ORDER_BY_SCOPE in codes(analyzer, sql)
+        aggregated = (
+            "SELECT district, COUNT(*) FROM client GROUP BY district "
+            "ORDER BY COUNT(*) DESC"
+        )
+        assert codes(analyzer, aggregated) == []
+
+    def test_join_no_fk_is_warning(self, analyzer):
+        sql = (
+            "SELECT * FROM client JOIN loan ON client.client_id = loan.loan_id"
+        )
+        diags = analyzer.analyze_sql(sql)
+        assert [d.code for d in diags] == [JOIN_NO_FK]
+        assert diags[0].severity is Severity.WARNING
+        assert not has_errors(diags)
+        fk_join = (
+            "SELECT * FROM client JOIN account "
+            "ON client.client_id = account.client_id"
+        )
+        assert codes(analyzer, fk_join) == []
+
+    def test_parse_error_is_single_warning(self, analyzer):
+        diags = analyzer.analyze_sql("SELECT ??? FROM")
+        assert [d.code for d in diags] == [PARSE_ERROR]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_correlated_subquery_resolves_outer_scope(self, analyzer):
+        sql = (
+            "SELECT name FROM client WHERE client_id IN "
+            "(SELECT client_id FROM account WHERE account.client_id = 1)"
+        )
+        assert codes(analyzer, sql) == []
+
+
+class TestSpans:
+    def test_diagnostic_span_points_at_identifier(self, analyzer):
+        sql = "SELECT salary FROM client"
+        (diag,) = analyzer.analyze_sql(sql)
+        assert diag.span is not None
+        assert diag.span.slice(sql) == "salary"
+
+    def test_hand_built_ast_has_no_span(self, analyzer):
+        from repro.sqlgen.parser import parse_sql
+
+        query = parse_sql("SELECT salary FROM client")
+        (diag,) = analyzer.analyze(query)  # no source text provided
+        assert diag.span is None
+
+
+class TestNumericLikeColumns:
+    def test_text_column_of_numbers_accepts_numeric_comparison(self):
+        schema = Schema(
+            name="codesdb",
+            domain="test",
+            tables=(
+                Table(
+                    name="t",
+                    columns=(
+                        Column("id", "INTEGER", is_primary=True),
+                        Column("code", "TEXT"),
+                    ),
+                ),
+            ),
+        )
+        database = Database.from_schema(
+            schema, {"t": [(1, "101"), (2, "202")]}
+        )
+        analyzer = SemanticAnalyzer(SchemaCatalog.from_database(database))
+        assert analyzer.analyze_sql("SELECT * FROM t WHERE code = 101") == []
+        # without value evidence the declared type wins.
+        structural = SemanticAnalyzer(SchemaCatalog.from_schema(schema))
+        assert [d.code for d in structural.analyze_sql(
+            "SELECT * FROM t WHERE code = 101"
+        )] == [TYPE_MISMATCH]
+
+
+class TestLintGatedBeam:
+    def test_dirty_candidates_demoted(self, analyzer):
+        hallucinated = "SELECT salary FROM client"
+        misused = "SELECT name FROM client WHERE COUNT(*) > 2"
+        clean = "SELECT name FROM client"
+        beam = [hallucinated, misused, clean]
+        ordered, diagnostics = lint_gated_order(beam, analyzer)
+        assert ordered == [clean, hallucinated, misused]
+        assert has_errors(diagnostics[hallucinated])
+        assert has_errors(diagnostics[misused])
+        assert not has_errors(diagnostics[clean])
+
+    def test_clean_beam_order_preserved(self, analyzer):
+        beam = ["SELECT name FROM client", "SELECT district FROM client"]
+        ordered, _ = lint_gated_order(beam, analyzer)
+        assert ordered == beam
+
+    def test_injected_hallucinations_demoted_end_to_end(self):
+        from repro.core import CodeSParser
+        from repro.eval import pair_samples
+        from repro.reliability import SchemaHallucinator
+
+        dataset = build_bank_financials()
+        hallucinator = SchemaHallucinator(rate=1.0, n_candidates=2, seed=0)
+        parser = CodeSParser("codes-1b", beam_perturber=hallucinator)
+        parser.fit(pair_samples(dataset))
+        example = dataset.dev[0]
+        database = dataset.databases[example.db_id]
+        result = parser.generate(example.question, database)
+        assert hallucinator.injected_candidates == 2
+        # both corrupted candidates were demoted, never executed, and
+        # the chosen SQL is clean.
+        assert result.lint_demoted == 2
+        assert result.executions_avoided == 2
+        assert result.tier == "beam"
+        assert not has_errors(result.diagnostics)
+
+    def test_schema_hallucinator_renames_last_identifier(self):
+        from repro.reliability import SchemaHallucinator
+
+        hallucinator = SchemaHallucinator(rate=1.0, n_candidates=1, seed=0)
+        beam = ["SELECT COUNT(*) FROM client"]
+        perturbed = hallucinator(beam)
+        assert perturbed[1:] == beam
+        # the function name is skipped; the table name is corrupted.
+        assert perturbed[0] == "SELECT COUNT(*) FROM client_x0"
+
+    def test_parser_reports_lint_accounting(self):
+        from repro.core import CodeSParser
+        from repro.eval import pair_samples
+
+        dataset = build_bank_financials()
+        parser = CodeSParser("codes-1b")
+        parser.fit(pair_samples(dataset))
+        example = dataset.dev[0]
+        database = dataset.databases[example.db_id]
+        result = parser.generate(example.question, database)
+        assert result.executions_used >= 1
+        assert result.executions_avoided >= 0
+        assert result.lint_demoted >= 0
+        gated_off = CodeSParser("codes-1b", lint_gate=False)
+        gated_off.fit(pair_samples(dataset))
+        off_result = gated_off.generate(example.question, database)
+        assert off_result.lint_demoted == 0
+        assert off_result.executions_avoided == 0
+
+
+class TestGoldenGoldSQL:
+    """Every bundled benchmark's gold SQL lints clean of error-tier."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            build_spider,
+            build_bird,
+            build_bank_financials,
+            build_aminer_simplified,
+            lambda: build_spider_variant("spider-syn"),
+            lambda: build_spider_variant("spider-realistic"),
+            lambda: build_spider_variant("spider-dk"),
+        ],
+        ids=[
+            "spider",
+            "bird",
+            "bank_financials",
+            "aminer_simplified",
+            "spider-syn",
+            "spider-realistic",
+            "spider-dk",
+        ],
+    )
+    def test_benchmark_gold_is_clean(self, builder):
+        report = lint_dataset(builder())
+        assert report.n_examples > 0
+        dirty = report.error_findings
+        assert not dirty, "\n".join(
+            f"{f.split}[{f.index}] {f.sql}: "
+            + "; ".join(d.render() for d in f.diagnostics)
+            for f in dirty
+        )
+
+    def test_dr_spider_gold_is_clean(self):
+        spider = build_spider()
+        for perturbation in all_perturbation_names():
+            dataset = build_dr_spider(perturbation, spider=spider)
+            report = dataset.lint()
+            assert not report.error_findings, (
+                f"{perturbation}: {len(report.error_findings)} dirty queries"
+            )
+
+
+class TestEvalIntegration:
+    def test_semantic_error_in_failure_classes(self):
+        from repro.eval.harness import FAILURE_CLASSES, PREDICTION_SEMANTIC_ERROR
+
+        assert PREDICTION_SEMANTIC_ERROR in FAILURE_CLASSES
+
+    def test_eval_result_carries_diagnostics(self):
+        from repro.core import CodeSParser
+        from repro.eval import evaluate_parser, pair_samples
+
+        dataset = build_bank_financials()
+        parser = CodeSParser("codes-1b")
+        parser.fit(pair_samples(dataset))
+        result = evaluate_parser(parser, dataset, limit=5)
+        assert isinstance(result.diagnostics, dict)
+        assert result.executions_avoided >= 0
+
+
+class TestAugmentGate:
+    def test_dirty_pair_rejected(self):
+        from repro.augment import admit_clean_pairs
+        from repro.datasets import Text2SQLExample
+
+        database = bank_database()
+        clean = Text2SQLExample(
+            question="how many clients?",
+            sql="SELECT COUNT(*) FROM client",
+            db_id="mini_bank",
+        )
+        dirty = Text2SQLExample(
+            question="average salary?",
+            sql="SELECT AVG(salary) FROM client",
+            db_id="mini_bank",
+        )
+        assert admit_clean_pairs([clean, dirty], database) == [clean]

@@ -1,0 +1,94 @@
+"""Architectural lint (scripts/arch_lint.py) — rules + repo-wide gate."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "arch_lint", REPO_ROOT / "scripts" / "arch_lint.py"
+)
+arch_lint = importlib.util.module_from_spec(_spec)
+sys.modules["arch_lint"] = arch_lint
+_spec.loader.exec_module(arch_lint)
+
+
+def _rules(source: str, clock_exempt: bool = False) -> list[str]:
+    return [
+        v.rule
+        for v in arch_lint.lint_source(source, "mod.py", clock_exempt=clock_exempt)
+    ]
+
+
+class TestRawClockRule:
+    def test_time_time_flagged(self):
+        assert _rules("import time\nstart = time.time()\n") == ["ARCH001"]
+
+    def test_perf_counter_flagged(self):
+        assert _rules("import time\nt = time.perf_counter()\n") == ["ARCH001"]
+
+    def test_monotonic_flagged(self):
+        assert _rules("import time\nt = time.monotonic()\n") == ["ARCH001"]
+
+    def test_datetime_now_flagged(self):
+        source = "import datetime\nnow = datetime.datetime.now()\n"
+        assert _rules(source) == ["ARCH001"]
+
+    def test_clock_protocol_usage_clean(self):
+        source = (
+            "from repro.reliability.clock import SYSTEM_CLOCK\n"
+            "start = SYSTEM_CLOCK.now()\n"
+        )
+        assert _rules(source) == []
+
+    def test_clock_module_exempt(self):
+        assert _rules("import time\nt = time.monotonic()\n", clock_exempt=True) == []
+
+    def test_unrelated_attribute_call_clean(self):
+        # the linter keys on the receiver name, so `obj.time()` and
+        # `clockwork.perf_counter()` do not trip ARCH001.
+        assert _rules("value = obj.time()\n") == []
+        assert _rules("t = clockwork.perf_counter()\n") == []
+
+
+class TestBlanketExceptRule:
+    def test_swallowing_handler_flagged(self):
+        source = "try:\n    work()\nexcept Exception:\n    result = None\n"
+        assert _rules(source) == ["ARCH002"]
+
+    def test_bare_except_flagged(self):
+        source = "try:\n    work()\nexcept:\n    pass\n"
+        assert _rules(source) == ["ARCH002"]
+
+    def test_base_exception_in_tuple_flagged(self):
+        source = "try:\n    work()\nexcept (ValueError, BaseException):\n    pass\n"
+        assert _rules(source) == ["ARCH002"]
+
+    def test_reraise_allowed(self):
+        source = (
+            "try:\n    work()\nexcept Exception as exc:\n"
+            "    raise ReproError('wrapped') from exc\n"
+        )
+        assert _rules(source) == []
+
+    def test_taxonomy_classification_allowed(self):
+        source = (
+            "try:\n    work()\nexcept Exception:\n"
+            "    failures['generation_failed'] += 1\n"
+        )
+        assert _rules(source) == []
+
+    def test_narrow_handler_ignored(self):
+        source = "try:\n    work()\nexcept ValueError:\n    pass\n"
+        assert _rules(source) == []
+
+
+class TestRepoGate:
+    def test_src_repro_has_no_violations(self):
+        violations = arch_lint.lint_tree(REPO_ROOT / "src" / "repro")
+        rendered = "\n".join(v.render() for v in violations)
+        assert not violations, f"architecture violations:\n{rendered}"
+
+    def test_main_exit_status(self):
+        assert arch_lint.main([str(REPO_ROOT / "src" / "repro")]) == 0
