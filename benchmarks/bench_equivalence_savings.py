@@ -1,0 +1,95 @@
+"""Static equivalence engine: executions avoided at unchanged EX (DESIGN.md §9).
+
+The engine works in two layers: inside the beam, canonically-equal
+candidates share one execution (``equivalence_dedup``); in the eval
+harness, a prediction proven EQUIVALENT to gold scores without
+executing either side (``static_eval``).  Two conditions per CodeS
+tier, engine on vs off:
+
+- *clean* — the repro's own generator.  Slot filling dedupes by exact
+  text, so beams carry no surface-variant duplicates and the in-beam
+  layer should cost nothing; the harness layer still short-circuits
+  predictions that canonically match gold.
+- *duplicated* — `reliability.BeamDuplicator` over a hallucinated beam
+  head (`reliability.SchemaHallucinator`): the duplicator prepends
+  surface-variant respellings of the doomed top candidate, the
+  redundancy real LLM beams exhibit.  The lint gate is off so each
+  duplicate the engine does *not* collapse costs a doomed execution
+  round-trip — exactly what the dedup layer saves.
+
+The engine must never move EX: dedup picks the cheapest representative
+*within* an equivalence class (execution-preserving by construction)
+and the EX short-circuit only fires on proven-equivalent pairs.
+"""
+
+from repro.config import CODES_TIERS
+from repro.eval.harness import evaluate_parser
+from repro.reliability import BeamDuplicator, SchemaHallucinator
+
+LIMIT = 24
+
+
+def test_equivalence_engine_savings(benchmark, spider, parsers, report):
+    def run():
+        rows = []
+        for tier in CODES_TIERS:
+            parser = parsers.sft(tier, spider)
+            for condition in ("clean", "duplicated"):
+                for engine in (True, False):
+                    if condition == "duplicated":
+                        hallucinator = SchemaHallucinator(
+                            rate=1.0, n_candidates=1, seed=0
+                        )
+                        duplicator = BeamDuplicator(
+                            rate=1.0, n_duplicates=2, seed=0
+                        )
+                        parser.beam_perturber = lambda beam: duplicator(
+                            hallucinator(beam)
+                        )
+                        parser.lint_gate = False
+                    parser.equivalence_dedup = engine
+                    try:
+                        result = evaluate_parser(
+                            parser, spider, limit=LIMIT,
+                            name=f"{tier} {condition} engine={engine}",
+                            static_eval=engine,
+                        )
+                    finally:
+                        parser.equivalence_dedup = True
+                        parser.lint_gate = True
+                        parser.beam_perturber = None
+                    rows.append(
+                        {
+                            "model": f"SFT {tier}",
+                            "beam": condition,
+                            "engine": "on" if engine else "off",
+                            "EX%": round(100 * result.ex, 1),
+                            "beam deduped": result.beam_deduped,
+                            "static equiv": result.static_equivalent,
+                            "exec avoided": result.executions_avoided,
+                            "latency s/sample": round(result.mean_latency_s, 4),
+                        }
+                    )
+        report(
+            "equivalence_savings",
+            rows,
+            "Static equivalence engine — executions avoided and EX, on vs off",
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    on = [row for row in rows if row["engine"] == "on"]
+    off = [row for row in rows if row["engine"] == "off"]
+    # Under a duplicated beam the engine saves round-trips on every
+    # tier (collapsed duplicates plus EX short-circuits)...
+    assert all(
+        row["exec avoided"] > 0 and row["beam deduped"] > 0
+        for row in on
+        if row["beam"] == "duplicated"
+    )
+    # ...with the engine (and lint gate) off nothing is avoided...
+    assert all(row["exec avoided"] == 0 for row in off)
+    # ...and every saving is execution-preserving: EX identical row for
+    # row, not merely no worse.
+    for row_on, row_off in zip(on, off):
+        assert row_on["EX%"] == row_off["EX%"], (row_on, row_off)

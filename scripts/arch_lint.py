@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Architectural lint for the repro source tree.
 
-Two rules, both enforced in tier-1 (see ``tests/test_arch_lint.py``):
+Three rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
 
 ARCH001 — raw clock reads.  ``time.time()``, ``time.monotonic()``,
     ``time.perf_counter()``, ``datetime.now()`` and ``datetime.utcnow()``
@@ -17,6 +17,16 @@ ARCH002 — blanket exception swallowing.  ``except Exception`` /
     such as ``failures[...]`` / ``FailureRecord`` / ``classify*``).
     Anything else silently converts programming errors into wrong
     results.
+
+ARCH003 — ad-hoc case-insensitive identifier comparison.  Equality
+    comparisons against ``.lower()`` calls (``a.lower() == b.lower()``)
+    outside ``sqlgen/`` and ``analysis/`` are forbidden: SQL identifier
+    identity is owned by ``repro.sqlgen.ast.identifier_key`` /
+    ``ColumnRef.key()`` / ``SchemaCatalog`` lookups.  Scattered
+    ``.lower()`` spellings drift (casefold vs. lower, one side
+    normalized but not the other) and make identifier semantics
+    unauditable.  Normalized-key dict/set *lookups* (``name.lower() in
+    mapping``) are the sanctioned catalog pattern and stay legal.
 
 Usage::
 
@@ -48,6 +58,13 @@ CLOCK_ALLOWLIST = ("reliability/clock.py",)
 
 #: identifiers whose presence in a handler marks taxonomy classification.
 TAXONOMY_SINKS = ("failures", "FailureRecord", "classify")
+
+#: path prefixes (relative to the lint root) that own identifier
+#: normalization and may compare ``.lower()`` results directly.
+IDENTIFIER_ALLOWLIST_PREFIXES = ("sqlgen/", "analysis/")
+
+#: case-normalizing string methods ARCH003 looks for in comparisons.
+CASE_NORMALIZERS = ("lower", "casefold")
 
 
 @dataclass(frozen=True)
@@ -100,11 +117,56 @@ def _is_blanket(handler: ast.ExceptHandler) -> bool:
     return isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
 
 
-def lint_source(source: str, path: str, clock_exempt: bool = False) -> list[Violation]:
+def _is_case_normalizer_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and not node.args
+        and not node.keywords
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in CASE_NORMALIZERS
+    )
+
+
+def _compares_case_normalized(node: ast.Compare) -> bool:
+    """Does an Eq/NotEq comparison have a ``.lower()`` operand?
+
+    Membership tests (``key in mapping``) are excluded: looking up a
+    normalized key in a normalized mapping is the catalog pattern, not
+    an ad-hoc comparison.
+    """
+    if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+        return False
+    operands = [node.left, *node.comparators]
+    return any(_is_case_normalizer_call(operand) for operand in operands)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    clock_exempt: bool = False,
+    identifier_exempt: bool = False,
+) -> list[Violation]:
     """Lint one module's source text; ``path`` is used in messages only."""
     tree = ast.parse(source, filename=path)
     violations: list[Violation] = []
     for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Compare)
+            and not identifier_exempt
+            and _compares_case_normalized(node)
+        ):
+            violations.append(
+                Violation(
+                    path=path,
+                    line=node.lineno,
+                    rule="ARCH003",
+                    message=(
+                        "ad-hoc .lower() identifier comparison; route "
+                        "through repro.sqlgen.ast.identifier_key / "
+                        "ColumnRef.key() / SchemaCatalog lookups"
+                    ),
+                )
+            )
         if isinstance(node, ast.Call) and not clock_exempt:
             target = _call_target(node)
             if target in RAW_CLOCK_CALLS:
@@ -141,8 +203,14 @@ def lint_tree(root: Path) -> list[Violation]:
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root).as_posix()
         clock_exempt = relative in CLOCK_ALLOWLIST
+        identifier_exempt = relative.startswith(IDENTIFIER_ALLOWLIST_PREFIXES)
         violations.extend(
-            lint_source(path.read_text(encoding="utf-8"), relative, clock_exempt)
+            lint_source(
+                path.read_text(encoding="utf-8"),
+                relative,
+                clock_exempt,
+                identifier_exempt,
+            )
         )
     return violations
 

@@ -13,10 +13,27 @@ off-FK joins).  Consumers:
   per-rule diagnostics;
 - the augmentation pipeline rejects dirty synthetic SQL;
 - ``repro lint`` audits any benchmark's gold queries.
+
+The static *equivalence* engine (:mod:`repro.analysis.equivalence`,
+:mod:`repro.analysis.cost`) is the dual gate: it recognizes when two
+candidates are provably the same query, so the beam executes one
+representative per equivalence class (cheapest first, per the cost
+estimator), the eval harness skips EX executions for predictions
+provably equivalent to gold, the augmentation pipeline drops
+canonical-duplicate synthetic pairs, and ``repro equiv`` reports
+duplicate ratios for any benchmark.
 """
 
 from repro.analysis.analyzer import SemanticAnalyzer
 from repro.analysis.catalog import CatalogColumn, SchemaCatalog
+from repro.analysis.cost import CostEstimator
+from repro.analysis.equivalence import (
+    Verdict,
+    canonical_key,
+    canonical_key_sql,
+    canonicalize,
+    prove_equivalent,
+)
 from repro.analysis.diagnostics import (
     RULE_CODES,
     RULE_SEVERITIES,
@@ -34,6 +51,7 @@ from repro.analysis.report import (
 
 __all__ = [
     "CatalogColumn",
+    "CostEstimator",
     "Diagnostic",
     "LintFinding",
     "LintReport",
@@ -42,8 +60,13 @@ __all__ = [
     "SchemaCatalog",
     "SemanticAnalyzer",
     "Severity",
+    "Verdict",
+    "canonical_key",
+    "canonical_key_sql",
+    "canonicalize",
     "error_count",
     "format_lint_report",
     "has_errors",
     "lint_dataset",
+    "prove_equivalent",
 ]

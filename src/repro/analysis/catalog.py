@@ -32,6 +32,11 @@ class CatalogColumn:
     #: True for TEXT/DATE columns whose sampled values all parse as
     #: numbers — numeric comparisons against them are legitimate.
     numeric_like: bool = False
+    #: Distinct values observed by the representative-value probe
+    #: (``SELECT DISTINCT … LIMIT k``); 0 means never probed.  When the
+    #: probe returns fewer than ``k`` values that IS the true distinct
+    #: count — the cardinality evidence the cost estimator runs on.
+    n_distinct: int = 0
 
     def key(self) -> str:
         return f"{self.table.lower()}.{self.name.lower()}"
@@ -44,10 +49,20 @@ class CatalogColumn:
 class SchemaCatalog:
     """Case-insensitive lookup structure over one schema."""
 
-    def __init__(self, schema: Schema, columns: dict[str, dict[str, CatalogColumn]]):
+    def __init__(
+        self,
+        schema: Schema,
+        columns: dict[str, dict[str, CatalogColumn]],
+        table_rows: dict[str, int] | None = None,
+        sample_k: int = 5,
+    ):
         self.schema = schema
         #: lower table name -> lower column name -> CatalogColumn
         self._columns = columns
+        #: lower table name -> row count (only when built from a live DB)
+        self.table_rows: dict[str, int] = dict(table_rows or {})
+        #: probe width used for representative values / distinct evidence
+        self.sample_k = sample_k
         #: lower real table names
         self._tables = {table.name.lower(): table.name for table in schema.tables}
         #: unordered {src_key, dst_key} pairs of declared FK edges.
@@ -72,7 +87,10 @@ class SchemaCatalog:
     def from_database(cls, database: Database, sample_k: int = 5) -> "SchemaCatalog":
         """Catalog enriched with representative-value type evidence."""
         return cls(
-            database.schema, _columns_of(database.schema, database, sample_k)
+            database.schema,
+            _columns_of(database.schema, database, sample_k),
+            table_rows=_table_rows_of(database),
+            sample_k=sample_k,
         )
 
     # -- lookup --------------------------------------------------------------
@@ -104,6 +122,23 @@ class SchemaCatalog:
         """Is ``left = right`` a declared FK edge (either direction)?"""
         return frozenset({left_key.lower(), right_key.lower()}) in self.fk_pairs
 
+    def distinct_estimate(self, column: CatalogColumn) -> int | None:
+        """Estimated distinct-value count for ``column``.
+
+        When the ``LIMIT k`` probe returned fewer than ``k`` values the
+        observation is exhaustive and exact.  A saturated probe only
+        proves ``>= k`` distinct values, so fall back to the classic
+        half-the-rows guess.  ``None`` means no evidence at all.
+        """
+        if column.n_distinct <= 0:
+            return None
+        if column.n_distinct < self.sample_k:
+            return column.n_distinct
+        rows = self.table_rows.get(column.table.lower())
+        if rows is None:
+            return column.n_distinct
+        return max(rows // 2, column.n_distinct)
+
 
 def _columns_of(
     schema: Schema, database: Database | None, sample_k: int = 5
@@ -113,31 +148,43 @@ def _columns_of(
         per_table: dict[str, CatalogColumn] = {}
         for column in table.columns:
             numeric_like = False
-            if database is not None and column.type.upper() not in NUMERIC_TYPES:
-                numeric_like = _values_look_numeric(
-                    database, table.name, column.name, sample_k
-                )
+            n_distinct = 0
+            if database is not None:
+                values = _probe_values(database, table.name, column.name, sample_k)
+                n_distinct = len(values)
+                if column.type.upper() not in NUMERIC_TYPES:
+                    numeric_like = bool(values) and all(
+                        _parses_as_number(value) for value in values
+                    )
             per_table[column.name.lower()] = CatalogColumn(
                 table=table.name,
                 name=column.name,
                 type=column.type.upper(),
                 is_primary=column.is_primary,
                 numeric_like=numeric_like,
+                n_distinct=n_distinct,
             )
         columns[table.name.lower()] = per_table
     return columns
 
 
-def _values_look_numeric(
+def _probe_values(
     database: Database, table: str, column: str, sample_k: int
-) -> bool:
+) -> list[object]:
     try:
-        values = database.representative_values(table, column, k=sample_k)
+        return database.representative_values(table, column, k=sample_k)
     except ExecutionError:
-        return False
-    if not values:
-        return False
-    return all(_parses_as_number(value) for value in values)
+        return []
+
+
+def _table_rows_of(database: Database) -> dict[str, int]:
+    rows: dict[str, int] = {}
+    for table in database.schema.tables:
+        try:
+            rows[table.name.lower()] = database.row_count(table.name)
+        except ExecutionError:
+            continue
+    return rows
 
 
 def _parses_as_number(value: object) -> bool:

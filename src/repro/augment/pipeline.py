@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.analyzer import SemanticAnalyzer
 from repro.analysis.catalog import SchemaCatalog
 from repro.analysis.diagnostics import has_errors
+from repro.analysis.equivalence import canonical_key_sql
 from repro.augment.question2sql import QuestionToSQLAugmenter
 from repro.augment.sql2question import SQLToQuestionAugmenter
 from repro.augment.synthetic_llm import SyntheticLLM
@@ -29,6 +30,27 @@ def admit_clean_pairs(
     ]
 
 
+def dedupe_canonical(pairs: list[Text2SQLExample]) -> list[Text2SQLExample]:
+    """Drop pairs whose (question, canonical SQL) identity already appeared.
+
+    Surface-variant SQL duplicates — reordered conjuncts, BETWEEN vs.
+    range spellings, alias noise — survive string-level dedup but teach
+    the parser nothing new; keying on
+    :func:`~repro.analysis.equivalence.canonical_key_sql` collapses
+    them.  The question rides along in the key so distinct phrasings of
+    the same SQL (paraphrase value for retrieval) are kept.
+    """
+    seen: set[tuple[str, str]] = set()
+    unique: list[Text2SQLExample] = []
+    for pair in pairs:
+        key = (" ".join(pair.question.split()).lower(), canonical_key_sql(pair.sql))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(pair)
+    return unique
+
+
 def augment_domain(
     dataset: Text2SQLDataset,
     n_question_to_sql: int = 60,
@@ -41,8 +63,9 @@ def augment_domain(
     pairs; the result combines authentic (question-to-SQL) and generic
     (SQL-to-question) pairs, plus the seeds themselves — "authenticity
     and broad applicability" (§7).  Every synthetic pair passes the
-    :func:`admit_clean_pairs` semantic gate before joining the pool;
-    the seeds are trusted as-is.
+    :func:`admit_clean_pairs` semantic gate and canonical-key dedup
+    (:func:`dedupe_canonical`) before joining the pool; the seeds are
+    trusted as-is and stay verbatim at the front.
     """
     if len(dataset.databases) != 1:
         raise DatasetError("domain augmentation expects a single-database dataset")
@@ -56,5 +79,7 @@ def augment_domain(
         dataset.train, gdb, n_question_to_sql
     )
     generic = SQLToQuestionAugmenter(llm, seed=seed).augment(gdb, n_sql_to_question)
-    admitted = admit_clean_pairs([*authentic, *generic], gdb.database)
+    admitted = dedupe_canonical(
+        admit_clean_pairs([*authentic, *generic], gdb.database)
+    )
     return [*dataset.train, *admitted]

@@ -7,6 +7,7 @@ Subcommands::
     repro ask --dataset bank_financials --question "How many clients..."
     repro augment --domain bank_financials --out pairs.json
     repro lint --dataset all                # audit gold SQL semantically
+    repro equiv --dataset spider            # duplicate-ratio / verdict report
 
 Everything runs offline and deterministically.
 """
@@ -17,7 +18,13 @@ import argparse
 import json
 import sys
 
-from repro.analysis import format_lint_report
+from repro.analysis import (
+    SchemaCatalog,
+    Verdict,
+    canonical_key_sql,
+    format_lint_report,
+    prove_equivalent,
+)
 from repro.augment import augment_domain
 from repro.config import MODEL_REGISTRY
 from repro.core import CodeSParser, DemonstrationRetriever
@@ -90,6 +97,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         limit=args.limit,
         deadline_s=args.deadline_s,
         max_retries=args.max_retries,
+        static_eval=not args.no_static_eval,
         **kwargs,
     )
     print(format_table([result.as_row()], title=f"{args.model} on {args.dataset}"))
@@ -177,6 +185,71 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _equiv_report(dataset, splits: tuple[str, ...], max_pairs: int) -> dict[str, object]:
+    """Duplicate-ratio and prover-verdict histogram for one benchmark."""
+    examples = []
+    for split in splits:
+        examples.extend(getattr(dataset, split, []) or [])
+    keys = [canonical_key_sql(example.sql) for example in examples]
+    unique = len(set(keys))
+    verdicts = {verdict: 0 for verdict in Verdict}
+    catalogs: dict[str, SchemaCatalog] = {}
+    pairs_checked = 0
+    by_db: dict[str, list] = {}
+    for example in examples:
+        by_db.setdefault(example.db_id, []).append(example)
+    for db_id, group in by_db.items():
+        if db_id not in catalogs:
+            catalogs[db_id] = SchemaCatalog.from_database(
+                dataset.database_of(group[0])
+            )
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                if pairs_checked >= max_pairs:
+                    break
+                verdicts[
+                    prove_equivalent(group[i].sql, group[j].sql, catalogs[db_id])
+                ] += 1
+                pairs_checked += 1
+    n = len(examples)
+    return {
+        "dataset": dataset.name,
+        "n": n,
+        "unique": unique,
+        "dup%": round(100 * (n - unique) / n, 1) if n else 0.0,
+        "pairs": pairs_checked,
+        "equivalent": verdicts[Verdict.EQUIVALENT],
+        "distinct": verdicts[Verdict.DISTINCT],
+        "unknown": verdicts[Verdict.UNKNOWN],
+    }
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    splits = tuple(args.splits.split(","))
+    rows = []
+    for name in _lint_targets(args.dataset):
+        if name == "dr-spider":
+            spider = build_spider()
+            datasets = [
+                build_dr_spider(perturbation, spider=spider)
+                for perturbation in all_perturbation_names()
+            ]
+        else:
+            datasets = [_BUILDERS[name]()]
+        for dataset in datasets:
+            rows.append(_equiv_report(dataset, splits, args.max_pairs))
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Gold SQL equivalence audit (splits: {args.splits}; "
+                f"within-database pairs, capped at {args.max_pairs})"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_augment(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args.domain)
     pairs = augment_domain(
@@ -234,6 +307,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     eval_parser.add_argument("--ts", action="store_true",
                              help="also compute test-suite accuracy")
     eval_parser.add_argument("--limit", type=int, default=None)
+    eval_parser.add_argument(
+        "--no-static-eval", action="store_true",
+        help="disable the static EX short-circuit (execute every "
+             "prediction even when provably equivalent to gold)",
+    )
     _add_reliability_flags(eval_parser)
     eval_parser.set_defaults(func=_cmd_eval)
 
@@ -280,6 +358,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="also print reports for datasets with warnings only",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    equiv_parser = sub.add_parser(
+        "equiv", help="report gold-SQL duplicate ratios and prover verdicts"
+    )
+    equiv_parser.add_argument(
+        "--dataset", default="all",
+        help="benchmark name, 'dr-spider' for all perturbations, or 'all'",
+    )
+    equiv_parser.add_argument(
+        "--splits", default="train,dev",
+        help="comma-separated splits to audit (default: train,dev)",
+    )
+    equiv_parser.add_argument(
+        "--max-pairs", type=int, default=2000,
+        help="cap on within-database query pairs fed to the prover",
+    )
+    equiv_parser.set_defaults(func=_cmd_equiv)
     return parser
 
 

@@ -37,7 +37,9 @@ import numpy as np
 
 from repro.analysis.analyzer import SemanticAnalyzer
 from repro.analysis.catalog import SchemaCatalog
+from repro.analysis.cost import CostEstimator
 from repro.analysis.diagnostics import Diagnostic, has_errors
+from repro.analysis.equivalence import canonical_key_sql
 from repro.config import ModelConfig, get_model_config
 from repro.datasets.base import Text2SQLExample
 from repro.db.database import Database
@@ -116,8 +118,15 @@ class GenerationResult:
     ``lint_demoted`` how many beam candidates were demoted for
     error-tier diagnostics, ``executions_used`` how many beam
     candidates were actually executed, and ``executions_avoided`` how
-    many demoted candidates ranked above the winner but were never
-    executed — round-trips the ungated beam would have spent.
+    many executions the static passes saved: demoted candidates the
+    ungated beam would have executed ahead of the winner, plus
+    canonically-duplicate candidates that shared a single execution
+    with their equivalence-class representative.
+
+    Equivalence-dedup accounting: ``beam_deduped`` is how many beam
+    candidates collapsed into an already-seen equivalence class
+    (:func:`repro.analysis.equivalence.canonical_key_sql`); each class
+    executes only its statically cheapest member.
     """
 
     sql: str
@@ -129,6 +138,7 @@ class GenerationResult:
     lint_demoted: int = 0
     executions_used: int = 0
     executions_avoided: int = 0
+    beam_deduped: int = 0
 
 
 def lint_gated_order(
@@ -160,10 +170,15 @@ class CodeSParser:
         config: ModelConfig | None = None,
         lint_gate: bool = True,
         beam_perturber: Callable[[list[str]], list[str]] | None = None,
+        equivalence_dedup: bool = True,
     ):
         self.config = config or get_model_config(model)
         self.use_pattern_similarity = use_pattern_similarity
         self.lint_gate = lint_gate
+        #: Collapse canonically-equivalent beam candidates into one
+        #: execution (repro.analysis.equivalence); sound because
+        #: equivalent queries share executability and results.
+        self.equivalence_dedup = equivalence_dedup
         #: Fault-injection hook (e.g. reliability.SchemaHallucinator):
         #: rewrites the assembled beam before the lint gate sees it.
         self.beam_perturber = beam_perturber
@@ -191,6 +206,7 @@ class CodeSParser:
         self._skeleton_bank: list[Query] = self._mine_skeleton_bank()
         self._builders: dict[tuple[int, int], PromptBuilder] = {}
         self._analyzers: dict[int, SemanticAnalyzer] = {}
+        self._estimators: dict[int, CostEstimator] = {}
 
     # -- pre-training knowledge ----------------------------------------------
 
@@ -370,6 +386,13 @@ class CodeSParser:
                 SchemaCatalog.from_database(database)
             )
         return self._analyzers[key]
+
+    def _estimator_for(self, database: Database) -> CostEstimator:
+        """The (cached) static cost estimator, sharing the analyzer's catalog."""
+        key = id(database)
+        if key not in self._estimators:
+            self._estimators[key] = CostEstimator(self._analyzer_for(database).catalog)
+        return self._estimators[key]
 
     # -- template retrieval ------------------------------------------------------
 
@@ -567,6 +590,30 @@ class CodeSParser:
             ordered = beam
         demoted = {sql for sql, diags in lint.items() if has_errors(diags)}
 
+        # Equivalence dedup: canonically-equal candidates execute
+        # identically, so each class costs at most one round-trip —
+        # spent on its statically cheapest member.  Grouping runs on the
+        # linted order, so classes inherit the gate's clean-first rank.
+        if self.equivalence_dedup and ordered:
+            estimator = self._estimator_for(database)
+            groups: list[list[str]] = []
+            group_of: dict[str, int] = {}
+            for sql in ordered:
+                group_key = canonical_key_sql(sql)
+                if group_key in group_of:
+                    groups[group_of[group_key]].append(sql)
+                else:
+                    group_of[group_key] = len(groups)
+                    groups.append([sql])
+            beam_deduped = len(ordered) - len(groups)
+            representatives = [
+                min(group, key=estimator.estimate_sql) for group in groups
+            ]
+        else:
+            groups = [[sql] for sql in ordered]
+            beam_deduped = 0
+            representatives = [group[0] for group in groups]
+
         # Degradation ladder: execution-guided beam -> skeleton-bank
         # fallback -> safe sentinel.  Each tier only answers when the
         # previous one produced nothing executable.
@@ -574,11 +621,17 @@ class CodeSParser:
         tier = "beam"
         executions_used = 0
         executed: set[str] = set()
-        for sql in ordered:
+        dedup_avoided = beam_deduped  # full fall-through skips every duplicate
+        for group, representative in zip(groups, representatives):
             executions_used += 1
-            executed.add(sql)
-            if database.is_executable(sql):
-                chosen = sql
+            executed.add(representative)
+            if database.is_executable(representative):
+                chosen = representative
+                # Without dedup the loop would have stopped at this
+                # class's first-ranked member; everything above it in
+                # the linted order minus the classes actually executed
+                # was saved by sharing executions.
+                dedup_avoided = ordered.index(group[0]) - (executions_used - 1)
                 break
         if chosen is None and degrade:
             chosen = self._skeleton_fallback(database, ctx)
@@ -593,8 +646,9 @@ class CodeSParser:
                 chosen = ordered[0]
                 tier = "beam"
         # Executions avoided: demoted candidates that outranked the
-        # winner in the raw beam — the ungated loop would have executed
-        # each of them before reaching the winner.
+        # winner in the raw beam (round-trips the ungated loop would
+        # have spent) plus duplicates that shared a representative's
+        # execution (round-trips the undeduped loop would have spent).
         executions_avoided = 0
         if tier == "beam" and chosen in beam:
             executions_avoided = sum(
@@ -602,6 +656,7 @@ class CodeSParser:
                 for sql in beam[: beam.index(chosen)]
                 if sql in demoted and sql not in executed
             )
+        executions_avoided += dedup_avoided
         return GenerationResult(
             sql=chosen,
             executable=database.is_executable(chosen),
@@ -612,6 +667,7 @@ class CodeSParser:
             lint_demoted=len(demoted),
             executions_used=executions_used,
             executions_avoided=executions_avoided,
+            beam_deduped=beam_deduped,
         )
 
     def _skeleton_fallback(

@@ -45,6 +45,7 @@ from repro.sqlgen.ast import (
     OrderItem,
     Query,
     SelectItem,
+    identifier_key,
 )
 
 _NUMBER_RE = re.compile(r"\d+(?:\.\d+)?")
@@ -253,12 +254,14 @@ class _Filler:
         return fallback
 
     def _pop_matched_value(self, table: str, column: str) -> MatchedValue | None:
+        target = ColumnRef(table, column).key()
+        table_key = identifier_key(table)
         same_column = [
             m for m in self._available_values
-            if m.table.lower() == table.lower() and m.column.lower() == column.lower()
+            if ColumnRef(m.table, m.column).key() == target
         ]
         pool = same_column or [
-            m for m in self._available_values if m.table.lower() == table.lower()
+            m for m in self._available_values if identifier_key(m.table) == table_key
         ]
         if not pool:
             return None
@@ -420,7 +423,7 @@ class _Filler:
         for left_table in left_tables:
             fkey = self.ctx.schema.join_edge(left_table, right_table)
             if fkey is not None:
-                if fkey.src_table.lower() == right_table.lower():
+                if identifier_key(fkey.src_table) == identifier_key(right_table):
                     return JoinEdge(
                         table=right_table,
                         left=ColumnRef(fkey.dst_table, fkey.dst_column),

@@ -22,6 +22,7 @@ from repro.db.schema import Column, ForeignKey, Schema, Table
 from repro.db.values import ValueGenerator, WORDS
 from repro.datasets.blueprints import ColumnSpec, DomainBlueprint, TableSpec
 from repro.errors import DatasetError
+from repro.sqlgen.ast import identifier_key
 
 
 @dataclass(frozen=True)
@@ -60,7 +61,7 @@ class GeneratedDatabase:
 
     def table_noun(self, table: str) -> str:
         for spec in self.blueprint.tables:
-            if spec.name.lower() == table.lower():
+            if identifier_key(spec.name) == identifier_key(table):
                 return spec.noun()
         return table.replace("_", " ") + "s"
 
@@ -77,7 +78,7 @@ class GeneratedDatabase:
         """Actual column names of ``table`` whose semantic is in ``semantics``."""
         out: list[str] = []
         for (tbl, col), spec in self.column_specs.items():
-            if tbl == table.lower() and spec.semantic in semantics:
+            if tbl == identifier_key(table) and spec.semantic in semantics:
                 out.append(col)
         return sorted(out)
 

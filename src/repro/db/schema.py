@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SchemaError
+from repro.sqlgen.ast import identifier_key
 
 #: Column types the synthetic databases use (SQLite affinity names).
 VALID_TYPES = frozenset({"INTEGER", "REAL", "TEXT", "DATE"})
@@ -55,12 +56,13 @@ class Table:
     def column(self, name: str) -> Column:
         """Look up a column by case-insensitive name."""
         for column in self.columns:
-            if column.name.lower() == name.lower():
+            if identifier_key(column.name) == identifier_key(name):
                 return column
         raise SchemaError(f"no column {name!r} in table {self.name!r}")
 
     def has_column(self, name: str) -> bool:
-        return any(column.name.lower() == name.lower() for column in self.columns)
+        key = identifier_key(name)
+        return any(identifier_key(column.name) == key for column in self.columns)
 
     @property
     def primary_key(self) -> Column | None:
@@ -112,12 +114,13 @@ class Schema:
     def table(self, name: str) -> Table:
         """Look up a table by case-insensitive name."""
         for table in self.tables:
-            if table.name.lower() == name.lower():
+            if identifier_key(table.name) == identifier_key(name):
                 return table
         raise SchemaError(f"no table {name!r} in schema {self.name!r}")
 
     def has_table(self, name: str) -> bool:
-        return any(table.name.lower() == name.lower() for table in self.tables)
+        key = identifier_key(name)
+        return any(identifier_key(table.name) == key for table in self.tables)
 
     def column_keys(self) -> list[str]:
         """All ``table.column`` keys in schema order (lower-cased)."""

@@ -19,6 +19,7 @@ from typing import Protocol
 from repro.analysis.analyzer import SemanticAnalyzer
 from repro.analysis.catalog import SchemaCatalog
 from repro.analysis.diagnostics import has_errors
+from repro.analysis.equivalence import Verdict, prove_equivalent
 from repro.datasets.base import Text2SQLDataset, Text2SQLExample
 from repro.db.database import Database
 from repro.errors import ReproError
@@ -88,8 +89,13 @@ class EvalResult:
 
     Semantic-analysis accounting: ``diagnostics`` maps analyzer rule
     codes to how often they fired across all predictions, and
-    ``executions_avoided`` totals the execution round-trips the lint
-    gate saved inside the beam (0 for parsers without the gate).
+    ``executions_avoided`` totals the execution round-trips the static
+    passes saved — lint-gate and equivalence-dedup savings inside the
+    beam plus two per EX short-circuit (0 for parsers without them).
+    ``static_equivalent`` counts predictions proven equivalent to gold
+    by the equivalence engine and scored as hits without executing
+    either query, and ``beam_deduped`` totals the beam candidates the
+    parser collapsed into an already-seen equivalence class.
     """
 
     name: str
@@ -105,6 +111,8 @@ class EvalResult:
     tiers: dict[str, int] = field(default_factory=dict, repr=False)
     diagnostics: dict[str, int] = field(default_factory=dict, repr=False)
     executions_avoided: int = 0
+    static_equivalent: int = 0
+    beam_deduped: int = 0
 
     @property
     def n_failures(self) -> int:
@@ -146,6 +154,7 @@ def evaluate_parser(
     breaker_threshold: int = 5,
     breaker_recovery_s: float = 30.0,
     clock: Clock | None = None,
+    static_eval: bool = True,
 ) -> EvalResult:
     """Evaluate ``parser`` on one split of ``dataset``.
 
@@ -162,6 +171,18 @@ def evaluate_parser(
     ``breaker_threshold`` consecutive gold-side failures.  The
     injectable ``clock`` drives deadlines, backoff sleeps, and breaker
     recovery, so tests run without real time passing.
+
+    With ``static_eval`` (the default) a prediction the equivalence
+    prover marks EQUIVALENT to gold scores as a hit without executing
+    either query (two round-trips saved, counted in
+    ``executions_avoided``; occurrences in ``static_equivalent``).
+    Sound because EQUIVALENT is rewrite-closed — and audited against
+    real execution by the ``-m equivalence`` test suite.  Pass
+    ``static_eval=False`` (CLI ``--no-static-eval``) to keep the
+    executed path authoritative; note the static path also skips the
+    gold-executability probe, so a gold query that both matches the
+    prediction canonically *and* fails to execute would score instead
+    of quarantining (bundled gold sets are audited executable).
     """
     examples = dataset.dev if split == "dev" else dataset.train
     if limit is not None:
@@ -183,6 +204,8 @@ def evaluate_parser(
     ves_total = 0.0
     n_scored = 0
     executions_avoided = 0
+    static_equivalent = 0
+    beam_deduped = 0
     latencies: list[float] = []
     predictions: list[str] = []
     failures: Counter[str] = Counter()
@@ -226,6 +249,7 @@ def evaluate_parser(
             predicted = result.sql
             tiers[getattr(result, "tier", "beam")] += 1
             executions_avoided += getattr(result, "executions_avoided", 0)
+            beam_deduped += getattr(result, "beam_deduped", 0)
         except ReproError as exc:
             predicted = SENTINEL_SQL
             tiers["sentinel"] += 1
@@ -253,8 +277,19 @@ def evaluate_parser(
             diagnostics[diagnostic.code] += 1
         semantically_dirty = has_errors(prediction_diags)
 
+        # -- static EX short-circuit -------------------------------------------
+        # A prediction provably equivalent to gold needs no execution:
+        # both queries would return identical results by construction.
+        if (
+            static_eval
+            and prove_equivalent(predicted, example.sql, analyzer.catalog)
+            is Verdict.EQUIVALENT
+        ):
+            static_equivalent += 1
+            executions_avoided += 2  # skipped prediction + gold round-trips
+            outcome = MatchOutcome(True)
         # -- classified scoring behind the database's circuit breaker --
-        if breaker.admit():
+        elif breaker.admit():
             outcome = execution_match_outcome(
                 database,
                 predicted,
@@ -322,6 +357,8 @@ def evaluate_parser(
         tiers=dict(tiers),
         diagnostics=dict(diagnostics),
         executions_avoided=executions_avoided,
+        static_equivalent=static_equivalent,
+        beam_deduped=beam_deduped,
     )
 
 

@@ -14,6 +14,7 @@ import numpy as np
 from repro.db.schema import Column, Table
 from repro.retrieval.lcs import lcs_match_degree
 from repro.retrieval.value_retriever import MatchedValue
+from repro.sqlgen.ast import ColumnRef
 from repro.text.embedder import HashedNgramEmbedder
 from repro.text.similarity import jaccard_similarity, token_overlap
 from repro.text.tokenize import sentence_tokens
@@ -73,10 +74,8 @@ class SchemaFeatureExtractor:
         """Feature vector for one column (optionally value-aware)."""
         base = self._name_features(question, column.name, column.comment)
         value_hit = 0.0
+        target = ColumnRef(table.name, column.name).key()
         for match in matched_values or ():
-            if (
-                match.table.lower() == table.name.lower()
-                and match.column.lower() == column.name.lower()
-            ):
+            if ColumnRef(match.table, match.column).key() == target:
                 value_hit = max(value_hit, match.degree)
         return np.array([*base, 0.0, value_hit, 1.0], dtype=np.float64)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.db.schema import ForeignKey, Schema, Table
 from repro.linking.classifier import SchemaItemClassifier
 from repro.retrieval.value_retriever import MatchedValue
+from repro.sqlgen.ast import identifier_key
 from repro.sqlgen.parser import parse_sql
 
 
@@ -41,15 +42,12 @@ def _project_schema(schema: Schema, keep: dict[str, list[str]]) -> Schema:
         if not columns:
             columns = table.columns[:1]
         tables.append(Table(name=table.name, columns=columns, comment=table.comment))
-    kept_table_names = {table.name.lower() for table in tables}
+    by_key = {identifier_key(table.name): table for table in tables}
     foreign_keys: list[ForeignKey] = []
     for fkey in schema.foreign_keys:
-        if (
-            fkey.src_table.lower() in kept_table_names
-            and fkey.dst_table.lower() in kept_table_names
-        ):
-            src = next(t for t in tables if t.name.lower() == fkey.src_table.lower())
-            dst = next(t for t in tables if t.name.lower() == fkey.dst_table.lower())
+        src = by_key.get(identifier_key(fkey.src_table))
+        dst = by_key.get(identifier_key(fkey.dst_table))
+        if src is not None and dst is not None:
             if src.has_column(fkey.src_column) and dst.has_column(fkey.dst_column):
                 foreign_keys.append(fkey)
     return Schema(
@@ -164,11 +162,12 @@ class SchemaFilter:
                     (fkey.dst_table, fkey.dst_column),
                 ):
                     other = (
-                        fkey.dst_table if side_table.lower() == fkey.src_table.lower()
+                        fkey.dst_table
+                        if identifier_key(side_table) == identifier_key(fkey.src_table)
                         else fkey.src_table
                     )
                     if (
-                        side_table.lower() == table_name
+                        identifier_key(side_table) == table_name
                         and other.lower() in result
                         and side_column.lower() not in lowered
                     ):

@@ -18,10 +18,16 @@ All time flows through the injectable :class:`Clock`; tests use
 from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.reliability.clock import Clock, FakeClock, MonotonicClock, SYSTEM_CLOCK
 from repro.reliability.deadline import Deadline, ExecutionGuard
-from repro.reliability.faults import FaultyDatabase, FlakyLLM, SchemaHallucinator
+from repro.reliability.faults import (
+    BeamDuplicator,
+    FaultyDatabase,
+    FlakyLLM,
+    SchemaHallucinator,
+)
 from repro.reliability.retry import RetryPolicy
 
 __all__ = [
+    "BeamDuplicator",
     "CLOSED",
     "CircuitBreaker",
     "Clock",

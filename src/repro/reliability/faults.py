@@ -8,7 +8,9 @@ configurable rates driven by a seeded RNG, so every injected fault
 sequence is reproducible from ``(seed, call order)`` alone.
 :class:`SchemaHallucinator` injects the *semantic* failure mode — beam
 candidates referencing hallucinated schema items — that the lint gate
-(:mod:`repro.analysis`) exists to catch.
+(:mod:`repro.analysis`) exists to catch, and :class:`BeamDuplicator`
+injects the *redundancy* failure mode — surface-variant duplicate
+candidates — that the equivalence dedup exists to collapse.
 """
 
 from __future__ import annotations
@@ -160,6 +162,128 @@ class SchemaHallucinator:
         phantom = f"{token.value}_x{variant}"
         end = token.position + len(token.value)
         return sql[: token.position] + phantom + sql[end:]
+
+
+class BeamDuplicator:
+    """A beam perturber that injects surface-variant duplicate candidates.
+
+    Real LLM beams are riddled with candidates that differ only in
+    spelling — reordered conjuncts, ``BETWEEN`` vs. explicit range,
+    identifier casing — and execute identically (Rajkumar et al.); this
+    repro's generator dedupes by exact text and cannot reproduce that
+    redundancy.  The duplicator restores it deterministically so the
+    equivalence dedup in :mod:`repro.core.parser` has something to
+    collapse: install it as ``CodeSParser(beam_perturber=...)`` and, at
+    ``rate`` per beam, it prepends up to ``n_duplicates``
+    canonically-equivalent rewrites of the top candidate.  Without
+    dedup each duplicate costs the beam one redundant execution
+    round-trip — exactly the waste the engine exists to avoid.
+    """
+
+    def __init__(self, rate: float = 1.0, n_duplicates: int = 2, seed: int = 0):
+        self.rate = _validate_rate("rate", rate)
+        self.n_duplicates = n_duplicates
+        self._rng = random.Random(f"beam-duplicator:{seed}")
+        self.injected_duplicates = 0
+
+    def __call__(self, beam: list[str]) -> list[str]:
+        if not beam or self._rng.random() >= self.rate:
+            return beam
+        duplicates = []
+        for index in range(self.n_duplicates):
+            variant = self._surface_variant(beam[0], index)
+            if variant is not None and variant not in beam and variant not in duplicates:
+                duplicates.append(variant)
+        self.injected_duplicates += len(duplicates)
+        return duplicates + beam
+
+    def _surface_variant(self, sql: str, variant: int) -> str | None:
+        """The ``variant``-th execution-equivalent respelling of ``sql``.
+
+        Rewrites cycle through the surface freedoms the canonicalizer
+        erases — reversed AND/OR conjuncts, reversed IN lists, flipped
+        join-edge orientation, identifier case-flips (the sqlgen
+        serializer preserves casing; SQLite and the canonical key do
+        not care).  None of them can change execution results.
+        """
+        from dataclasses import replace
+
+        from repro.sqlgen.ast import (
+            Aggregation,
+            ColumnRef,
+            CompoundCondition,
+            InCondition,
+            JoinEdge,
+            SelectItem,
+        )
+        from repro.sqlgen.parser import parse_sql
+        from repro.sqlgen.serializer import serialize
+
+        try:
+            query = parse_sql(sql)
+        except SQLSyntaxError:
+            return None
+
+        def case_flip(name: str) -> str:
+            flipped = name.upper() if name != name.upper() else name.lower()
+            return flipped
+
+        rewrites = []
+        if isinstance(query.where, CompoundCondition) and len(query.where.conditions) > 1:
+            rewrites.append(
+                replace(
+                    query,
+                    where=CompoundCondition(
+                        op=query.where.op,
+                        conditions=tuple(reversed(query.where.conditions)),
+                    ),
+                )
+            )
+        if isinstance(query.where, InCondition) and len(query.where.values) > 1:
+            rewrites.append(
+                replace(
+                    query,
+                    where=InCondition(
+                        expr=query.where.expr,
+                        values=tuple(reversed(query.where.values)),
+                        negated=query.where.negated,
+                    ),
+                )
+            )
+        if query.joins:
+            edge = query.joins[0]
+            rewrites.append(
+                replace(
+                    query,
+                    joins=(
+                        JoinEdge(table=edge.table, left=edge.right, right=edge.left),
+                        *query.joins[1:],
+                    ),
+                )
+            )
+        rewrites.append(replace(query, from_table=case_flip(query.from_table)))
+        for index, item in enumerate(query.select_items):
+            expr = item.expr
+            if isinstance(expr, ColumnRef) and expr.column != "*":
+                flipped_expr = ColumnRef(expr.table, case_flip(expr.column))
+            elif isinstance(expr, Aggregation) and expr.arg.column != "*":
+                flipped_expr = Aggregation(
+                    func=expr.func,
+                    arg=ColumnRef(expr.arg.table, case_flip(expr.arg.column)),
+                    distinct=expr.distinct,
+                )
+            else:
+                continue
+            items = list(query.select_items)
+            items[index] = SelectItem(expr=flipped_expr, alias=item.alias)
+            rewrites.append(replace(query, select_items=tuple(items)))
+
+        seen: list[str] = []
+        for rewrite in rewrites:
+            text = serialize(rewrite)
+            if text != sql and text not in seen:
+                seen.append(text)
+        return seen[variant] if variant < len(seen) else None
 
 
 class FlakyLLM:

@@ -8,8 +8,39 @@ LIKE, NULL tests and UNION/INTERSECT/EXCEPT compounds.
 
 from __future__ import annotations
 
+from decimal import Decimal
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
+
+
+def identifier_key(name: str) -> str:
+    """Case-insensitive identity of a single SQL identifier.
+
+    The one sanctioned spelling of identifier comparison: everything
+    outside :mod:`repro.sqlgen` / :mod:`repro.analysis` must route
+    identifier equality through this helper or :meth:`ColumnRef.key`
+    (enforced by ARCH003 in ``scripts/arch_lint.py``).
+    """
+    return name.lower()
+
+
+def normalize_number(value: Union[int, float]) -> str:
+    """Render a number the way SQLite's text affinity would.
+
+    Integral floats collapse to their integer spelling (``3.0`` → ``3``,
+    ``-0.0`` → ``0``) and non-integral floats expand to plain decimal
+    notation (``1e-05`` → ``0.00001``) because the sqlgen lexer — like
+    the literal grammar this project emits — has no exponent form.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return str(int(value))
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite literal cannot be rendered: {value!r}")
+        if value.is_integer():
+            return str(int(value))
+        return format(Decimal(repr(value)), "f")
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -21,7 +52,7 @@ class ColumnRef:
 
     def key(self) -> str:
         """Lower-cased ``table.column`` identity."""
-        return f"{self.table.lower()}.{self.column.lower()}"
+        return f"{identifier_key(self.table)}.{identifier_key(self.column)}"
 
     def __str__(self) -> str:
         if self.column == "*":
@@ -43,9 +74,7 @@ class Literal:
         if isinstance(self.value, str):
             escaped = self.value.replace("'", "''")
             return f"'{escaped}'"
-        if isinstance(self.value, float) and self.value.is_integer():
-            return str(int(self.value))
-        return str(self.value)
+        return normalize_number(self.value)
 
 
 @dataclass(frozen=True)

@@ -158,6 +158,188 @@ def simple_queries(draw, allow_subquery: bool = True) -> Query:
     )
 
 
+# -- schema-grounded queries over the bank fixture ---------------------------
+#
+# The free-form ``queries()`` strategy exercises the parser round-trip;
+# these queries additionally *execute* on ``tests.fixtures.bank_database``
+# so properties can compare real result sets (canonicalization must
+# preserve execution, not just parse).
+
+_BANK_COLUMNS: dict[str, dict[str, str]] = {
+    "client": {
+        "client_id": "num", "name": "text", "gender": "text", "district": "text",
+    },
+    "account": {
+        "account_id": "num", "client_id": "num", "balance": "num",
+        "open_date": "text",
+    },
+    "loan": {
+        "loan_id": "num", "account_id": "num", "amount": "num", "status": "text",
+    },
+}
+
+#: FK edges as (left_table, right_table) -> (left_column, right_column).
+_BANK_EDGES = {
+    ("client", "account"): ("client_id", "client_id"),
+    ("account", "loan"): ("account_id", "account_id"),
+}
+
+_BANK_PATHS = (
+    ("client",),
+    ("account",),
+    ("loan",),
+    ("client", "account"),
+    ("account", "loan"),
+    ("client", "account", "loan"),
+)
+
+_BANK_PRIMARY = {"client": "client_id", "account": "account_id", "loan": "loan_id"}
+
+_BANK_TEXT_VALUES = (
+    "Prague", "Jesenik", "F", "M", "approved", "rejected", "%a%", "Sarah%",
+)
+
+_bank_numbers = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.integers(min_value=100, max_value=60_000),
+    st.floats(min_value=0, max_value=5000, allow_nan=False, allow_infinity=False)
+    .map(lambda value: round(value, 2)),
+)
+
+
+def _bank_condition(draw, scope: tuple[str, ...]):
+    """One executable predicate over the tables in ``scope``."""
+    table = draw(st.sampled_from(scope))
+    column = draw(st.sampled_from(sorted(_BANK_COLUMNS[table])))
+    ref = ColumnRef(table, column)
+    kind = _BANK_COLUMNS[table][column]
+    op = st.sampled_from(["=", "!=", "<", ">", "<=", ">="])
+    if kind == "num":
+        simple = draw(
+            st.sampled_from(["binary", "between", "in", "null"])
+        )
+        if simple == "binary":
+            return BinaryCondition(ref, draw(op), Literal(draw(_bank_numbers)))
+        if simple == "between":
+            low, high = sorted([draw(_bank_numbers), draw(_bank_numbers)])
+            return BetweenCondition(ref, Literal(low), Literal(high))
+        if simple == "in":
+            values = draw(st.lists(_bank_numbers, min_size=1, max_size=3))
+            return InCondition(
+                ref, tuple(Literal(v) for v in values),
+                negated=draw(st.booleans()),
+            )
+        return NullCondition(ref, negated=draw(st.booleans()))
+    text = st.sampled_from(_BANK_TEXT_VALUES)
+    simple = draw(st.sampled_from(["binary", "like", "in", "null"]))
+    if simple == "binary":
+        return BinaryCondition(ref, draw(st.sampled_from(["=", "!="])),
+                               Literal(draw(text)))
+    if simple == "like":
+        return LikeCondition(ref, Literal(draw(text)), negated=draw(st.booleans()))
+    if simple == "in":
+        values = draw(st.lists(text, min_size=1, max_size=3))
+        return InCondition(
+            ref, tuple(Literal(v) for v in values), negated=draw(st.booleans())
+        )
+    return NullCondition(ref, negated=draw(st.booleans()))
+
+
+@st.composite
+def bank_queries(draw) -> Query:
+    """A random query that executes on the bank fixture database.
+
+    Row order is kept deterministic across equivalent plans: ORDER BY
+    always ends in the driving table's primary key (a total order), and
+    LIMIT only appears under such an ORDER BY.  Without that gate,
+    equivalent rewrites could legitimately return different rows (tie-
+    breaking under LIMIT is plan-dependent), which is exactly the
+    nondeterminism the canonicalizer's order-sensitivity rules avoid.
+    """
+    path = draw(st.sampled_from(_BANK_PATHS))
+    joins = tuple(
+        JoinEdge(
+            table=right,
+            left=ColumnRef(left, _BANK_EDGES[(left, right)][0]),
+            right=ColumnRef(right, _BANK_EDGES[(left, right)][1]),
+        )
+        for left, right in zip(path, path[1:])
+    )
+    scope_columns = [
+        ColumnRef(table, column)
+        for table in path
+        for column in sorted(_BANK_COLUMNS[table])
+    ]
+    numeric_columns = [
+        ref for ref in scope_columns if _BANK_COLUMNS[ref.table][ref.column] == "num"
+    ]
+    agg = st.one_of(
+        st.just(Aggregation("count", ColumnRef("", "*"))),
+        st.builds(
+            Aggregation,
+            func=st.sampled_from(["count", "sum", "avg", "min", "max"]),
+            arg=st.sampled_from(numeric_columns),
+            distinct=st.booleans(),
+        ),
+    )
+    select_items = tuple(
+        SelectItem(expr=expr)
+        for expr in draw(
+            st.lists(
+                st.one_of(st.sampled_from(scope_columns), agg),
+                min_size=1,
+                max_size=3,
+            )
+        )
+    )
+    n_leaves = draw(st.integers(min_value=0, max_value=3))
+    leaves = [_bank_condition(draw, path) for _ in range(n_leaves)]
+    if len(leaves) >= 2:
+        where = CompoundCondition(
+            op=draw(st.sampled_from(["AND", "OR"])), conditions=tuple(leaves)
+        )
+    else:
+        where = leaves[0] if leaves else None
+    group_by = tuple(draw(st.lists(st.sampled_from(scope_columns), max_size=2)))
+    having = (
+        BinaryCondition(
+            Aggregation("count", ColumnRef("", "*")),
+            draw(st.sampled_from(["<", ">", ">="])),
+            Literal(draw(st.integers(min_value=0, max_value=3))),
+        )
+        if group_by and draw(st.booleans())
+        else None
+    )
+    order_by: tuple[OrderItem, ...] = ()
+    limit = None
+    distinct = False
+    if not group_by and draw(st.booleans()):
+        order_by = (
+            *(
+                OrderItem(expr=ref, descending=draw(st.booleans()))
+                for ref in draw(st.lists(st.sampled_from(scope_columns), max_size=1))
+            ),
+            OrderItem(
+                expr=ColumnRef(path[0], _BANK_PRIMARY[path[0]]),
+                descending=draw(st.booleans()),
+            ),
+        )
+        limit = draw(st.none() | st.integers(min_value=0, max_value=10))
+    elif not group_by:
+        distinct = draw(st.booleans())
+    return Query(
+        select_items=select_items,
+        from_table=path[0],
+        joins=joins,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+        distinct=distinct,
+    )
+
+
 @st.composite
 def queries(draw) -> Query:
     """A random query, possibly with one compound set operation."""

@@ -14,10 +14,17 @@ sys.modules["arch_lint"] = arch_lint
 _spec.loader.exec_module(arch_lint)
 
 
-def _rules(source: str, clock_exempt: bool = False) -> list[str]:
+def _rules(
+    source: str, clock_exempt: bool = False, identifier_exempt: bool = False
+) -> list[str]:
     return [
         v.rule
-        for v in arch_lint.lint_source(source, "mod.py", clock_exempt=clock_exempt)
+        for v in arch_lint.lint_source(
+            source,
+            "mod.py",
+            clock_exempt=clock_exempt,
+            identifier_exempt=identifier_exempt,
+        )
     ]
 
 
@@ -81,6 +88,42 @@ class TestBlanketExceptRule:
 
     def test_narrow_handler_ignored(self):
         source = "try:\n    work()\nexcept ValueError:\n    pass\n"
+        assert _rules(source) == []
+
+
+class TestLowerComparisonRule:
+    def test_lower_equality_flagged(self):
+        assert _rules("ok = a.lower() == b.lower()\n") == ["ARCH003"]
+
+    def test_one_sided_lower_equality_flagged(self):
+        # one-sided normalization is the classic drift bug ARCH003 exists for.
+        assert _rules("ok = name.lower() == target\n") == ["ARCH003"]
+
+    def test_lower_inequality_flagged(self):
+        assert _rules("ok = a.lower() != b.lower()\n") == ["ARCH003"]
+
+    def test_casefold_equality_flagged(self):
+        assert _rules("ok = a.casefold() == b.casefold()\n") == ["ARCH003"]
+
+    def test_membership_lookup_allowed(self):
+        # normalized-key dict/set lookups are the sanctioned catalog pattern.
+        assert _rules("ok = name.lower() in mapping\n") == []
+        assert _rules("ok = name.lower() not in seen\n") == []
+
+    def test_lower_with_arguments_ignored(self):
+        # only the no-arg str case normalizers count; obj.lower(x) is
+        # some other API.
+        assert _rules("ok = obj.lower(x) == other\n") == []
+
+    def test_identifier_owners_exempt(self):
+        source = "ok = a.lower() == b.lower()\n"
+        assert _rules(source, identifier_exempt=True) == []
+
+    def test_identifier_key_usage_clean(self):
+        source = (
+            "from repro.sqlgen.ast import identifier_key\n"
+            "ok = identifier_key(a) == identifier_key(b)\n"
+        )
         assert _rules(source) == []
 
 

@@ -1,0 +1,426 @@
+"""Static equivalence engine: canonicalizer rules, prover verdicts,
+gold-set soundness audits against real execution, and the
+execution-avoiding integrations (beam dedup, EX short-circuit,
+augmentation dedup)."""
+
+import pytest
+
+from repro.analysis import (
+    CostEstimator,
+    SchemaCatalog,
+    Verdict,
+    canonical_key,
+    canonical_key_sql,
+    canonicalize,
+    prove_equivalent,
+)
+from repro.datasets import (
+    build_aminer_simplified,
+    build_bank_financials,
+    build_bird,
+    build_dr_spider,
+    build_spider,
+    build_spider_variant,
+)
+from repro.datasets.drspider import all_perturbation_names
+from repro.eval.execution import execution_match_outcome
+from repro.sqlgen import parse_sql, serialize
+
+from tests.fixtures import bank_database
+
+pytestmark = pytest.mark.equivalence
+
+
+def key(sql: str) -> str:
+    return canonical_key(parse_sql(sql))
+
+
+def same(a: str, b: str) -> bool:
+    return key(a) == key(b)
+
+
+class TestCanonicalizerRules:
+    def test_conjunct_order_erased(self):
+        assert same(
+            "SELECT name FROM client WHERE gender = 'F' AND district = 'Prague'",
+            "SELECT name FROM client WHERE district = 'Prague' AND gender = 'F'",
+        )
+
+    def test_disjunct_order_erased(self):
+        assert same(
+            "SELECT name FROM client WHERE gender = 'F' OR district = 'Prague'",
+            "SELECT name FROM client WHERE district = 'Prague' OR gender = 'F'",
+        )
+
+    def test_nested_same_op_flattened(self):
+        assert same(
+            "SELECT a FROM t WHERE (x = 1 AND y = 2) AND z = 3",
+            "SELECT a FROM t WHERE x = 1 AND (y = 2 AND z = 3)",
+        )
+
+    def test_duplicate_conjunct_collapsed(self):
+        assert same(
+            "SELECT a FROM t WHERE x = 1 AND x = 1",
+            "SELECT a FROM t WHERE x = 1",
+        )
+
+    def test_between_is_range_pair(self):
+        assert same(
+            "SELECT amount FROM loan WHERE amount BETWEEN 100 AND 500",
+            "SELECT amount FROM loan WHERE amount >= 100 AND amount <= 500",
+        )
+
+    def test_in_list_sorted_and_deduped(self):
+        assert same(
+            "SELECT name FROM client WHERE district IN ('b', 'a', 'b')",
+            "SELECT name FROM client WHERE district IN ('a', 'b')",
+        )
+
+    def test_single_in_is_equality(self):
+        assert same(
+            "SELECT name FROM client WHERE district IN ('Prague')",
+            "SELECT name FROM client WHERE district = 'Prague'",
+        )
+
+    def test_alias_erased_and_join_oriented(self):
+        assert same(
+            "SELECT T1.name FROM client AS T1 JOIN account AS T2 "
+            "ON T1.client_id = T2.client_id",
+            "SELECT client.name FROM client JOIN account "
+            "ON account.client_id = client.client_id",
+        )
+
+    def test_group_by_becomes_distinct(self):
+        assert same(
+            "SELECT district FROM client GROUP BY district",
+            "SELECT DISTINCT district FROM client",
+        )
+
+    def test_group_by_not_rewritten_under_order_by(self):
+        # GROUP BY emits groups in an engine-chosen order; under ORDER
+        # BY ... LIMIT the rewrite could be observable, so it is gated.
+        a = "SELECT district FROM client GROUP BY district ORDER BY district LIMIT 2"
+        b = "SELECT DISTINCT district FROM client ORDER BY district LIMIT 2"
+        assert key(a) != key(b)
+
+    def test_min_distinct_dropped(self):
+        assert same(
+            "SELECT MIN(DISTINCT balance) FROM account",
+            "SELECT MIN(balance) FROM account",
+        )
+
+    def test_count_distinct_kept(self):
+        assert not same(
+            "SELECT COUNT(DISTINCT district) FROM client",
+            "SELECT COUNT(district) FROM client",
+        )
+
+    def test_literal_float_int_unified_and_operands_flipped(self):
+        assert same(
+            "SELECT name FROM client WHERE 20.0 < client_id",
+            "SELECT name FROM client WHERE client_id > 20",
+        )
+
+    def test_union_arm_order_erased(self):
+        assert same(
+            "SELECT name FROM client UNION SELECT district FROM client",
+            "SELECT district FROM client UNION SELECT name FROM client",
+        )
+
+    def test_except_arm_order_kept(self):
+        assert not same(
+            "SELECT name FROM client EXCEPT SELECT district FROM client",
+            "SELECT district FROM client EXCEPT SELECT name FROM client",
+        )
+
+    def test_identifier_case_erased(self):
+        assert same(
+            "SELECT Name FROM CLIENT",
+            "SELECT name FROM client",
+        )
+
+    def test_string_literal_case_preserved(self):
+        assert not same(
+            "SELECT name FROM client WHERE district = 'Prague'",
+            "SELECT name FROM client WHERE district = 'prague'",
+        )
+
+    def test_canonicalize_idempotent_and_reparseable(self):
+        sql = (
+            "SELECT T1.name FROM client AS T1 JOIN account AS T2 "
+            "ON T1.client_id = T2.client_id "
+            "WHERE T2.balance BETWEEN 10 AND 99.0 AND T1.gender IN ('F')"
+        )
+        canonical = canonicalize(parse_sql(sql))
+        assert canonicalize(canonical) == canonical
+        assert parse_sql(serialize(canonical)) == canonical
+
+    def test_unparseable_key_falls_back_to_text(self):
+        assert canonical_key_sql("WITH x AS (SELECT 1)  SELECT * FROM x;") == (
+            "WITH x AS (SELECT 1) SELECT * FROM x"
+        )
+
+
+class TestProver:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return SchemaCatalog.from_database(bank_database())
+
+    def test_equivalent_rewrites(self, catalog):
+        verdict = prove_equivalent(
+            "SELECT name FROM client WHERE gender = 'F' AND district = 'Prague'",
+            "SELECT name FROM client WHERE district = 'Prague' AND gender = 'F'",
+            catalog,
+        )
+        assert verdict is Verdict.EQUIVALENT
+
+    def test_arity_mismatch_is_distinct(self, catalog):
+        verdict = prove_equivalent(
+            "SELECT name FROM client",
+            "SELECT name, gender FROM client",
+            catalog,
+        )
+        assert verdict is Verdict.DISTINCT
+
+    def test_star_arity_via_catalog(self, catalog):
+        verdict = prove_equivalent(
+            "SELECT * FROM client",
+            "SELECT client_id, name, gender, district FROM client",
+            catalog,
+        )
+        # same arity, same tables — not provable either way.
+        assert verdict is Verdict.UNKNOWN
+
+    def test_different_tables_is_distinct(self, catalog):
+        verdict = prove_equivalent(
+            "SELECT name FROM client",
+            "SELECT status FROM loan",
+            catalog,
+        )
+        assert verdict is Verdict.DISTINCT
+
+    def test_different_predicate_is_unknown(self, catalog):
+        verdict = prove_equivalent(
+            "SELECT name FROM client WHERE gender = 'F'",
+            "SELECT name FROM client WHERE gender = 'M'",
+            catalog,
+        )
+        assert verdict is Verdict.UNKNOWN
+
+    def test_unparseable_is_unknown(self, catalog):
+        verdict = prove_equivalent(
+            "WITH x AS (SELECT 1) SELECT * FROM x",
+            "SELECT name FROM client",
+            catalog,
+        )
+        assert verdict is Verdict.UNKNOWN
+
+    def test_no_catalog_still_proves(self):
+        verdict = prove_equivalent(
+            "SELECT amount FROM loan WHERE amount BETWEEN 1 AND 2",
+            "SELECT amount FROM loan WHERE amount >= 1 AND amount <= 2",
+        )
+        assert verdict is Verdict.EQUIVALENT
+
+
+class TestCostEstimator:
+    def test_orders_by_work(self):
+        estimator = CostEstimator(SchemaCatalog.from_database(bank_database()))
+        single = estimator.estimate_sql("SELECT name FROM client")
+        joined = estimator.estimate_sql(
+            "SELECT client.name FROM client JOIN account "
+            "ON account.client_id = client.client_id "
+            "JOIN loan ON loan.account_id = account.account_id"
+        )
+        broken = estimator.estimate_sql("SELECT FROM WHERE")
+        assert single < joined < broken
+
+    def test_filtered_cheaper_than_unfiltered(self):
+        estimator = CostEstimator(SchemaCatalog.from_database(bank_database()))
+        base = "SELECT client.name FROM client JOIN account ON account.client_id = client.client_id"
+        assert (
+            estimator.estimate_sql(base + " WHERE client.client_id = 1")
+            < estimator.estimate_sql(base + " ORDER BY client.name")
+        )
+
+
+def _audit(dataset, max_pairs: int = 4000) -> None:
+    """Soundness: every EQUIVALENT within-database gold pair must
+    produce identical execution results on the bundled database."""
+    catalogs: dict[str, SchemaCatalog] = {}
+    by_db: dict[str, list] = {}
+    for example in [*dataset.train, *dataset.dev]:
+        by_db.setdefault(example.db_id, []).append(example)
+    divergent: list[str] = []
+    checked = 0
+    for db_id, examples in by_db.items():
+        database = dataset.databases[db_id]
+        catalog = catalogs.setdefault(
+            db_id, SchemaCatalog.from_database(database)
+        )
+        for i in range(len(examples)):
+            for j in range(i + 1, len(examples)):
+                if checked >= max_pairs:
+                    break
+                a, b = examples[i].sql, examples[j].sql
+                checked += 1
+                if prove_equivalent(a, b, catalog) is not Verdict.EQUIVALENT:
+                    continue
+                outcome = execution_match_outcome(database, a, b)
+                if not outcome.matched:
+                    divergent.append(
+                        f"{db_id}: {a!r} vs {b!r} ({outcome.failure or 'mismatch'})"
+                    )
+    assert not divergent, "EQUIVALENT-but-divergent pairs:\n" + "\n".join(divergent)
+
+
+def _audit_canonical_execution(dataset, max_examples: int = 200) -> None:
+    """Soundness: each gold query and its canonical form execute to the
+    same result (per the harness's own match semantics)."""
+    divergent: list[str] = []
+    for example in [*dataset.train, *dataset.dev][:max_examples]:
+        try:
+            canonical = serialize(canonicalize(parse_sql(example.sql)))
+        except Exception:  # pragma: no cover - unparseable gold is not audited
+            continue
+        database = dataset.databases[example.db_id]
+        outcome = execution_match_outcome(database, canonical, example.sql)
+        if not outcome.matched:
+            divergent.append(
+                f"{example.db_id}: {example.sql!r} -> {canonical!r} "
+                f"({outcome.failure or 'mismatch'})"
+            )
+    assert not divergent, "canonicalization changed execution:\n" + "\n".join(divergent)
+
+
+class TestGoldSetSoundness:
+    """The prover's EQUIVALENT verdict is audited against real
+    execution on every bundled benchmark — zero divergences allowed."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            build_spider,
+            build_bird,
+            build_bank_financials,
+            build_aminer_simplified,
+            lambda: build_spider_variant("spider-syn"),
+            lambda: build_spider_variant("spider-realistic"),
+            lambda: build_spider_variant("spider-dk"),
+        ],
+        ids=[
+            "spider",
+            "bird",
+            "bank_financials",
+            "aminer_simplified",
+            "spider-syn",
+            "spider-realistic",
+            "spider-dk",
+        ],
+    )
+    def test_equivalent_pairs_execute_identically(self, builder):
+        dataset = builder()
+        _audit(dataset)
+        _audit_canonical_execution(dataset)
+
+    def test_dr_spider_equivalent_pairs_execute_identically(self):
+        spider = build_spider()
+        for perturbation in all_perturbation_names():
+            dataset = build_dr_spider(perturbation, spider=spider)
+            _audit(dataset, max_pairs=1000)
+
+
+class TestBeamDedupIntegration:
+    def test_injected_duplicates_collapsed_end_to_end(self):
+        from repro.core import CodeSParser
+        from repro.eval import pair_samples
+        from repro.reliability import BeamDuplicator, SchemaHallucinator
+
+        # Duplicating an *executable* top candidate saves nothing: the
+        # beam stops at its first execution either way.  The savings
+        # the dedup buys appear when a failing candidate is duplicated
+        # — each duplicate would cost its own doomed round-trip — so
+        # the duplicator runs over a hallucinated (failing) head, with
+        # the lint gate off so execution actually pays for failures.
+        dataset = build_bank_financials()
+        hallucinator = SchemaHallucinator(rate=1.0, n_candidates=1, seed=0)
+        duplicator = BeamDuplicator(rate=1.0, n_duplicates=2, seed=0)
+        parser = CodeSParser(
+            "codes-1b",
+            lint_gate=False,
+            beam_perturber=lambda beam: duplicator(hallucinator(beam)),
+        )
+        parser.fit(pair_samples(dataset))
+        example = dataset.dev[0]
+        database = dataset.databases[example.db_id]
+        result = parser.generate(example.question, database)
+        assert duplicator.injected_duplicates > 0
+        assert result.beam_deduped == duplicator.injected_duplicates
+        assert result.executions_avoided > 0
+        # dedup never changes the answer: the chosen SQL still executes
+        # to the same rows as the dedup-off parser's choice.
+        plain = CodeSParser("codes-1b", equivalence_dedup=False)
+        plain.fit(pair_samples(dataset))
+        baseline = plain.generate(example.question, database)
+        outcome = execution_match_outcome(database, result.sql, baseline.sql)
+        assert outcome.matched
+
+    def test_dedup_off_reports_zero(self):
+        from repro.core import CodeSParser
+        from repro.eval import pair_samples
+
+        dataset = build_bank_financials()
+        parser = CodeSParser("codes-1b", equivalence_dedup=False)
+        parser.fit(pair_samples(dataset))
+        example = dataset.dev[0]
+        result = parser.generate(
+            example.question, dataset.databases[example.db_id]
+        )
+        assert result.beam_deduped == 0
+
+
+class TestHarnessShortCircuit:
+    def test_static_equivalent_counted_and_ex_preserved(self):
+        from repro.core import CodeSParser
+        from repro.eval import evaluate_parser, pair_samples
+
+        dataset = build_bank_financials()
+        parser = CodeSParser("codes-1b")
+        parser.fit(pair_samples(dataset))
+        static = evaluate_parser(parser, dataset, split="dev")
+        executed = evaluate_parser(parser, dataset, split="dev", static_eval=False)
+        assert executed.static_equivalent == 0
+        assert static.ex == executed.ex
+        assert static.static_equivalent >= 0
+        assert (
+            static.executions_avoided
+            >= executed.executions_avoided + 2 * static.static_equivalent
+        )
+
+
+class TestAugmentDedup:
+    def test_surface_variant_pairs_collapsed(self):
+        from repro.augment.pipeline import dedupe_canonical
+        from repro.datasets.base import Text2SQLExample
+
+        pairs = [
+            Text2SQLExample(
+                question="How many clients?",
+                sql="SELECT count(*) FROM client WHERE gender = 'F' AND district = 'Prague'",
+                db_id="bank",
+            ),
+            Text2SQLExample(
+                question="How  many   clients?",
+                sql="SELECT count(*) FROM client WHERE district = 'Prague' AND gender = 'F'",
+                db_id="bank",
+            ),
+            Text2SQLExample(
+                question="Count the female Prague clients.",
+                sql="SELECT count(*) FROM client WHERE gender = 'F' AND district = 'Prague'",
+                db_id="bank",
+            ),
+        ]
+        unique = dedupe_canonical(pairs)
+        # pair 2 is a surface variant of pair 1 (same question modulo
+        # whitespace, same canonical SQL); pair 3 is a fresh phrasing.
+        assert unique == [pairs[0], pairs[2]]

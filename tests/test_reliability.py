@@ -494,9 +494,12 @@ class TestFaultTolerantHarness:
     def test_circuit_breaker_stops_hammering_corrupt_database(self):
         faulty = FaultyDatabase(bank_database(), error_rate=1.0, seed=0)
         dataset = _dataset(faulty, [COUNT_CLIENTS] * 8)
+        # static_eval off: prediction and gold are textually identical,
+        # so the equivalence short-circuit would skip every execution
+        # and the injected gold faults this test exists to observe.
         result = evaluate_parser(
             StubParser([COUNT_CLIENTS]), dataset,
-            breaker_threshold=2, clock=FakeClock(),
+            breaker_threshold=2, clock=FakeClock(), static_eval=False,
         )
         assert result.failures[GOLD_UNEXECUTABLE] == 8
         # Only the first two examples hit the database; the rest were

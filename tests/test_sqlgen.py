@@ -12,11 +12,12 @@ from repro.sqlgen import (
     serialize,
     tokenize_sql,
 )
+from repro.sqlgen.ast import normalize_number
 from repro.sqlgen.lexer import TokenKind
 from repro.sqlgen.normalizer import same_structure
 from repro.sqlgen.skeleton import extract_skeleton, try_extract_skeleton
 
-from tests.strategies import queries
+from tests.strategies import bank_queries, queries
 
 
 class TestLexer:
@@ -172,6 +173,77 @@ class TestRoundTrip:
     def test_normalize_idempotent(self, query):
         sql = serialize(query)
         assert normalize_sql(normalize_sql(sql)) == normalize_sql(sql)
+
+    @settings(max_examples=100, deadline=None)
+    @given(queries())
+    def test_canonicalize_idempotent(self, query):
+        from repro.analysis import canonical_key, canonicalize
+
+        canonical = canonicalize(query)
+        # canonicalization is a fixpoint and its output reparses to itself,
+        # so canonical_key is stable under serialize -> parse round-trips.
+        assert canonicalize(canonical) == canonical
+        assert parse_sql(serialize(canonical)) == canonical
+        assert canonical_key(parse_sql(serialize(query))) == canonical_key(query)
+
+    @settings(max_examples=80, deadline=None)
+    @given(bank_queries())
+    def test_canonicalization_preserves_execution(self, query):
+        from repro.analysis import canonicalize
+        from repro.eval.execution import execution_match_outcome
+
+        database = _bank_db()
+        original = serialize(query)
+        canonical = serialize(canonicalize(query))
+        outcome = execution_match_outcome(database, canonical, original)
+        assert outcome.failure is None, f"{original!r}: {outcome.detail}"
+        assert outcome.matched, f"{original!r} != {canonical!r}"
+
+
+_BANK_DB = None
+
+
+def _bank_db():
+    """Module-level singleton so hypothesis examples share one database."""
+    global _BANK_DB
+    if _BANK_DB is None:
+        from tests.fixtures import bank_database
+
+        _BANK_DB = bank_database()
+    return _BANK_DB
+
+
+class TestNumberNormalization:
+    def test_negative_zero_is_zero(self):
+        assert normalize_number(-0.0) == "0"
+        assert Literal(-0.0).render() == "0"
+
+    def test_integral_float_renders_as_int(self):
+        assert normalize_number(3.0) == "3"
+        assert normalize_number(-17.0) == "-17"
+
+    def test_small_float_has_no_exponent(self):
+        # repr(1e-05) is '1e-05'; the lexer has no exponent form, so the
+        # rendered literal must expand to plain decimal notation.
+        assert normalize_number(1e-05) == "0.00001"
+        assert normalize_number(2.5e-03) == "0.0025"
+
+    def test_plain_float_unchanged(self):
+        assert normalize_number(2.5) == "2.5"
+
+    def test_bool_renders_as_int(self):
+        assert normalize_number(True) == "1"
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_number(float("inf"))
+        with pytest.raises(ValueError):
+            normalize_number(float("nan"))
+
+    def test_rendered_float_reparses(self):
+        sql = f"SELECT a FROM t WHERE x = {normalize_number(1e-05)}"
+        query = parse_sql(sql)
+        assert serialize(query) == sql
 
 
 class TestNormalizer:
