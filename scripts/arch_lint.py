@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Architectural lint for the repro source tree.
 
-Three rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
+Four rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
 
 ARCH001 — raw clock reads.  ``time.time()``, ``time.monotonic()``,
     ``time.perf_counter()``, ``datetime.now()`` and ``datetime.utcnow()``
@@ -27,6 +27,17 @@ ARCH003 — ad-hoc case-insensitive identifier comparison.  Equality
     normalized but not the other) and make identifier semantics
     unauditable.  Normalized-key dict/set *lookups* (``name.lower() in
     mapping``) are the sanctioned catalog pattern and stay legal.
+
+ARCH004 — engine stage encapsulation.  The staged-inference internals
+    (``repro.engine._stages``) may only be imported inside
+    ``engine/``; everyone else composes pipelines through
+    ``repro.engine.build_default_engine`` or
+    ``CodeSParser.build_engine``.  And no module outside ``core/`` or
+    ``engine/`` may re-implement the inline generation pipeline —
+    detected as importing both of its private ingredients
+    (``repro.core.slotfill`` and ``repro.core.ranking``) in one
+    module.  The decomposition only stays a refactor if exactly one
+    place wires the stages together.
 
 Usage::
 
@@ -65,6 +76,19 @@ IDENTIFIER_ALLOWLIST_PREFIXES = ("sqlgen/", "analysis/")
 
 #: case-normalizing string methods ARCH003 looks for in comparisons.
 CASE_NORMALIZERS = ("lower", "casefold")
+
+#: the stage-internals module only ``engine/`` may import (ARCH004).
+STAGE_INTERNALS_MODULE = "repro.engine._stages"
+
+#: path prefix (relative to the lint root) that owns the stage internals.
+ENGINE_PREFIX = "engine/"
+
+#: importing ALL of these in one module outside ``core/``/``engine/``
+#: marks an inline re-implementation of the generation pipeline.
+PIPELINE_INGREDIENTS = ("repro.core.slotfill", "repro.core.ranking")
+
+#: path prefixes allowed to compose the pipeline ingredients.
+PIPELINE_ALLOWLIST_PREFIXES = ("core/", ENGINE_PREFIX)
 
 
 @dataclass(frozen=True)
@@ -140,16 +164,61 @@ def _compares_case_normalized(node: ast.Compare) -> bool:
     return any(_is_case_normalizer_call(operand) for operand in operands)
 
 
+def _imported_modules(node: ast.AST) -> list[str]:
+    """Module names an Import/ImportFrom node references.
+
+    ``from repro.engine import _stages`` reports both ``repro.engine``
+    and ``repro.engine._stages`` so submodule imports spelled either
+    way are visible to ARCH004.
+    """
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom) and node.module:
+        return [node.module] + [
+            f"{node.module}.{alias.name}" for alias in node.names
+        ]
+    return []
+
+
 def lint_source(
     source: str,
     path: str,
     clock_exempt: bool = False,
     identifier_exempt: bool = False,
+    engine_exempt: bool = False,
+    pipeline_exempt: bool = False,
 ) -> list[Violation]:
     """Lint one module's source text; ``path`` is used in messages only."""
     tree = ast.parse(source, filename=path)
     violations: list[Violation] = []
+    pipeline_imports: dict[str, int] = {}
     for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            modules = _imported_modules(node)
+            if not engine_exempt and any(
+                module == STAGE_INTERNALS_MODULE
+                or module.startswith(STAGE_INTERNALS_MODULE + ".")
+                for module in modules
+            ):
+                violations.append(
+                    Violation(
+                        path=path,
+                        line=node.lineno,
+                        rule="ARCH004",
+                        message=(
+                            "stage internals import (repro.engine._stages) "
+                            "outside engine/; compose pipelines via "
+                            "repro.engine.build_default_engine"
+                        ),
+                    )
+                )
+            if not pipeline_exempt:
+                for module in modules:
+                    for ingredient in PIPELINE_INGREDIENTS:
+                        if module == ingredient or module.startswith(
+                            ingredient + "."
+                        ):
+                            pipeline_imports.setdefault(ingredient, node.lineno)
         if (
             isinstance(node, ast.Compare)
             and not identifier_exempt
@@ -194,6 +263,20 @@ def lint_source(
                         ),
                     )
                 )
+    if len(pipeline_imports) == len(PIPELINE_INGREDIENTS):
+        violations.append(
+            Violation(
+                path=path,
+                line=max(pipeline_imports.values()),
+                rule="ARCH004",
+                message=(
+                    "imports every private pipeline ingredient "
+                    f"({', '.join(PIPELINE_INGREDIENTS)}); the inline "
+                    "generation pipeline is wired only in core/ and "
+                    "engine/ — go through the staged engine"
+                ),
+            )
+        )
     return violations
 
 
@@ -202,14 +285,18 @@ def lint_tree(root: Path) -> list[Violation]:
     violations: list[Violation] = []
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root).as_posix()
-        clock_exempt = relative in CLOCK_ALLOWLIST
-        identifier_exempt = relative.startswith(IDENTIFIER_ALLOWLIST_PREFIXES)
         violations.extend(
             lint_source(
                 path.read_text(encoding="utf-8"),
                 relative,
-                clock_exempt,
-                identifier_exempt,
+                clock_exempt=relative in CLOCK_ALLOWLIST,
+                identifier_exempt=relative.startswith(
+                    IDENTIFIER_ALLOWLIST_PREFIXES
+                ),
+                engine_exempt=relative.startswith(ENGINE_PREFIX),
+                pipeline_exempt=relative.startswith(
+                    PIPELINE_ALLOWLIST_PREFIXES
+                ),
             )
         )
     return violations

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Regenerate the staged-engine golden parity file.
+
+Runs the generation pipeline over every bundled gold set and records,
+per dev example, the fields the engine refactor must preserve exactly:
+predicted SQL, degradation ``tier``, ``beam_deduped`` and
+``executions_avoided``.  The checked-in file
+(``tests/golden/engine_parity.json``) was captured from the
+pre-refactor ``CodeSParser.generate`` monolith; ``pytest -m engine``
+replays the staged engine against it, so any behavioural drift in the
+decomposition shows up as a golden mismatch.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_engine_golden.py
+
+Deterministic: fixed model tier, fixed seeds, bundled synthetic data.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import CodeSParser  # noqa: E402
+from repro.datasets import (  # noqa: E402
+    build_aminer_simplified,
+    build_bank_financials,
+    build_bird,
+    build_dr_spider,
+    build_spider,
+    build_spider_variant,
+)
+from repro.datasets.drspider import all_perturbation_names  # noqa: E402
+from repro.eval.harness import pair_samples  # noqa: E402
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "engine_parity.json"
+
+#: Model tier the parity run uses (smallest: fastest, same code paths).
+MODEL = "codes-1b"
+
+#: Dev examples recorded per primary benchmark / per Dr.Spider set.
+LIMIT_PRIMARY = 24
+LIMIT_DRSPIDER = 6
+
+
+def _record(parser: CodeSParser, dataset, limit: int) -> list[dict]:
+    rows = []
+    for index, example in enumerate(dataset.dev[:limit]):
+        database = dataset.database_of(example)
+        result = parser.generate(example.question, database)
+        rows.append(
+            {
+                "index": index,
+                "db_id": example.db_id,
+                "question": example.question,
+                "sql": result.sql,
+                "tier": result.tier,
+                "beam_deduped": result.beam_deduped,
+                "executions_avoided": result.executions_avoided,
+            }
+        )
+    return rows
+
+
+def generate_golden() -> dict:
+    builders = {
+        "spider": build_spider,
+        "bird": build_bird,
+        "spider-syn": lambda: build_spider_variant("spider-syn"),
+        "spider-realistic": lambda: build_spider_variant("spider-realistic"),
+        "spider-dk": lambda: build_spider_variant("spider-dk"),
+        "bank_financials": build_bank_financials,
+        "aminer_simplified": build_aminer_simplified,
+    }
+    payload: dict = {
+        "model": MODEL,
+        "limits": {"primary": LIMIT_PRIMARY, "dr_spider": LIMIT_DRSPIDER},
+        "datasets": {},
+    }
+    for name, build in builders.items():
+        dataset = build()
+        parser = CodeSParser(MODEL)
+        parser.fit(pair_samples(dataset))
+        payload["datasets"][name] = _record(parser, dataset, LIMIT_PRIMARY)
+        print(f"{name}: {len(payload['datasets'][name])} examples")
+
+    # Dr.Spider perturbations have no train split: evaluated with the
+    # spider-fitted parser, exactly how the robustness benches run them.
+    spider = build_spider()
+    parser = CodeSParser(MODEL)
+    parser.fit(pair_samples(spider))
+    for perturbation in all_perturbation_names():
+        dataset = build_dr_spider(perturbation, spider=spider)
+        key = f"dr-spider/{perturbation}"
+        payload["datasets"][key] = _record(parser, dataset, LIMIT_DRSPIDER)
+        print(f"{key}: {len(payload['datasets'][key])} examples")
+    return payload
+
+
+def main() -> int:
+    payload = generate_golden()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    total = sum(len(rows) for rows in payload["datasets"].values())
+    print(f"wrote {total} golden examples to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@ Subcommands::
     repro datasets                         # list the available benchmarks
     repro eval --dataset spider --model codes-7b [--mode sft|fewshot|zeroshot]
     repro ask --dataset bank_financials --question "How many clients..."
+    repro trace --dataset bank_financials --question "How many clients..."
     repro augment --domain bank_financials --out pairs.json
     repro lint --dataset all                # audit gold SQL semantically
     repro equiv --dataset spider            # duplicate-ratio / verdict report
@@ -39,7 +40,11 @@ from repro.datasets import (
 from repro.datasets.drspider import all_perturbation_names
 from repro.errors import DeadlineExceededError
 from repro.eval.harness import evaluate_parser, pair_samples
-from repro.eval.reporting import format_failure_report, format_table
+from repro.eval.reporting import (
+    format_failure_report,
+    format_stage_report,
+    format_table,
+)
 from repro.reliability import Deadline, RetryPolicy
 
 _BUILDERS = {
@@ -98,9 +103,14 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_s,
         max_retries=args.max_retries,
         static_eval=not args.no_static_eval,
+        batch=args.batch,
         **kwargs,
     )
     print(format_table([result.as_row()], title=f"{args.model} on {args.dataset}"))
+    if args.batch:
+        stage_report = format_stage_report(result)
+        if stage_report:
+            print(stage_report)
     report = format_failure_report(result)
     if report:
         print(report)
@@ -142,6 +152,29 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         print(" ", row)
     if len(rows) > 20:
         print(f"  ... ({len(rows)} rows total)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Answer one question and print the per-stage engine trace."""
+    dataset = _build_dataset(args.dataset)
+    parser = CodeSParser(args.model)
+    if dataset.train:
+        parser.fit(pair_samples(dataset))
+    db_id = args.db_id or next(iter(dataset.databases))
+    database = dataset.databases[db_id]
+    result = parser.generate(args.question, database)
+    print(f"SQL:  {result.sql}")
+    print(f"tier: {result.tier}")
+    if result.trace is None:
+        print("(no trace recorded)")
+        return 0
+    print(
+        format_table(
+            result.trace.as_rows(),
+            title=f"stage trace ({1000 * result.trace.total_s:.2f} ms total)",
+        )
+    )
     return 0
 
 
@@ -312,6 +345,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable the static EX short-circuit (execute every "
              "prediction even when provably equivalent to gold)",
     )
+    eval_parser.add_argument(
+        "--batch", action="store_true",
+        help="hold one staged engine per database (reusing builders, "
+             "analyzers and linking scores) and print per-stage timings",
+    )
     _add_reliability_flags(eval_parser)
     eval_parser.set_defaults(func=_cmd_eval)
 
@@ -324,6 +362,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ask_parser.add_argument("--question", required=True)
     _add_reliability_flags(ask_parser)
     ask_parser.set_defaults(func=_cmd_ask)
+
+    trace_parser = sub.add_parser(
+        "trace", help="answer one question and show the per-stage trace"
+    )
+    trace_parser.add_argument("--dataset", default="bank_financials")
+    trace_parser.add_argument(
+        "--model", default="codes-7b", choices=sorted(MODEL_REGISTRY)
+    )
+    trace_parser.add_argument("--db-id", default=None)
+    trace_parser.add_argument("--question", required=True)
+    trace_parser.set_defaults(func=_cmd_trace)
 
     augment_parser = sub.add_parser(
         "augment", help="run bi-directional augmentation for a domain"

@@ -1,26 +1,20 @@
 """The CodeS text-to-SQL parser (paper §4–§8).
 
-Pipeline per question:
+:class:`CodeSParser` owns the *model assets* — the pre-trained LM (via
+:class:`repro.lm.registry.LMRegistry`), the embedder, the SFT template
+index, the schema classifier and the pre-training skeleton bank — and
+delegates inference to the staged engine (:mod:`repro.engine`):
 
-1. **database prompt construction** (§6) — schema filter, value
-   retriever, metadata (via :class:`repro.promptgen.PromptBuilder`);
-2. **template retrieval** — the most similar training examples (SFT) or
-   provided demonstrations (ICL) by the question-pattern-aware
-   similarity of §8.2, backed by the model's pre-training skeleton bank
-   (mined from the SQL its corpus actually contained);
-3. **slot filling** (:mod:`repro.core.slotfill`) — templates are
-   instantiated against the target schema using linking scores,
-   retrieved values, and question literals;
-4. **ranking** — candidates are scored by template similarity plus the
-   pre-trained LM's sequence prior;
-5. **lint gate** (:mod:`repro.analysis`) — beam candidates are
-   statically analyzed against the database's schema catalog;
-   candidates with error-tier diagnostics (hallucinated columns,
-   aggregate misuse, type-incompatible predicates) are demoted below
-   clean ones, so execution round-trips are spent on plausible SQL;
-6. **execution-guided beam** (§9.1.4) — of the top ``beam_size``
-   candidates in linted order, the first that executes on the database
-   wins.
+    value_retrieve → schema_link → prompt_build → candidate_gen →
+    rank → lint_gate → equiv_dedup → execute_beam → degrade
+
+Each stage is a small class with a typed contract over a shared
+:class:`~repro.engine.context.InferenceContext`; cross-cutting
+concerns (tracing, fault injection) are engine middleware, and
+per-database resources (prompt builders, analyzers, cost estimators)
+resolve through the parser's clearable
+:class:`~repro.engine.cache.StageCache`.  ``generate`` is a thin
+facade that runs the engine and packages the result.
 
 Model tiers (1B…15B) differ in embedder width, n-gram order, skeleton
 capacity and slot depth — see :mod:`repro.config`.
@@ -28,34 +22,36 @@ capacity and slot depth — see :mod:`repro.config`.
 
 from __future__ import annotations
 
-import re
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.analysis.analyzer import SemanticAnalyzer
-from repro.analysis.catalog import SchemaCatalog
-from repro.analysis.cost import CostEstimator
-from repro.analysis.diagnostics import Diagnostic, has_errors
-from repro.analysis.equivalence import canonical_key_sql
+from repro.analysis.diagnostics import Diagnostic
 from repro.config import ModelConfig, get_model_config
+from repro.core.ranking import SENTINEL_SQL, lint_gated_order  # noqa: F401 - re-export
 from repro.datasets.base import Text2SQLExample
 from repro.db.database import Database
-from repro.errors import (
-    CheckpointError,
-    GenerationError,
-    SQLSyntaxError,
-    TrainingError,
+from repro.engine import (
+    BeamPerturbMiddleware,
+    Engine,
+    InferenceContext,
+    InferenceTrace,
+    Middleware,
+    StageCache,
+    TraceRecorder,
+    build_default_engine,
 )
-from repro.lm.corpus import CorpusConfig, PretrainCorpus, build_corpus
-from repro.lm.pretrain import IncrementalPretrainer, PretrainedLM, pretrain_base_lm
+from repro.errors import CheckpointError, SQLSyntaxError, TrainingError
+from repro.lm.pretrain import PretrainedLM
+from repro.lm.registry import DEFAULT_LM_REGISTRY, LMRegistry
 from repro.linking.classifier import LinkingExample, SchemaItemClassifier
 from repro.linking.features import SchemaFeatureExtractor
 from repro.linking.lexical import LexicalSchemaScorer
-from repro.promptgen.builder import DatabasePrompt, PromptBuilder
+from repro.promptgen.builder import DatabasePrompt
 from repro.promptgen.options import PromptOptions
+from repro.reliability.clock import SYSTEM_CLOCK, Clock
 from repro.sqlgen.ast import Query
 from repro.sqlgen.parser import parse_sql
 from repro.sqlgen.serializer import serialize
@@ -63,31 +59,11 @@ from repro.sqlgen.skeleton import skeleton_of_query
 from repro.text.embedder import HashedNgramEmbedder
 from repro.text.pattern import extract_pattern
 from repro.core.slotfill import InstantiationContext, instantiate_template
-from repro.core.structure import structure_prior
-
-#: Module-level cache of pre-trained LMs, keyed by recipe.
-_LM_CACHE: dict[tuple[str, bool, int], PretrainedLM] = {}
-_CORPUS_CACHE: dict[int, PretrainCorpus] = {}
-
-
-def _corpus(seed: int = 0) -> PretrainCorpus:
-    if seed not in _CORPUS_CACHE:
-        _CORPUS_CACHE[seed] = build_corpus(CorpusConfig(seed=seed))
-    return _CORPUS_CACHE[seed]
 
 
 def pretrained_lm_for(config: ModelConfig) -> PretrainedLM:
-    """The (cached) pre-trained LM for a model tier."""
-    key = (config.family, config.incremental, config.ngram_order)
-    if key not in _LM_CACHE:
-        corpus = _corpus()
-        base = pretrain_base_lm(
-            config.family, order=config.ngram_order, corpus=corpus
-        )
-        if config.incremental:
-            base = IncrementalPretrainer(corpus=corpus).run(base)
-        _LM_CACHE[key] = base
-    return _LM_CACHE[key]
+    """The pre-trained LM for a model tier, from the default registry."""
+    return DEFAULT_LM_REGISTRY.lm_for(config)
 
 
 @dataclass(frozen=True)
@@ -98,10 +74,6 @@ class _IndexEntry:
     template: Query
     question_vec: np.ndarray = field(repr=False, compare=False, default=None)
     pattern_vec: np.ndarray = field(repr=False, compare=False, default=None)
-
-
-#: Last-resort SQL when every generation tier fails (always executable).
-SENTINEL_SQL = "SELECT 1"
 
 
 @dataclass(frozen=True)
@@ -127,6 +99,10 @@ class GenerationResult:
     candidates collapsed into an already-seen equivalence class
     (:func:`repro.analysis.equivalence.canonical_key_sql`); each class
     executes only its statically cheapest member.
+
+    ``trace`` carries the engine's per-stage record (wall time via the
+    injectable Clock, candidate counts, cache traffic, executions) —
+    what ``repro trace`` prints and batch eval aggregates.
     """
 
     sql: str
@@ -139,23 +115,7 @@ class GenerationResult:
     executions_used: int = 0
     executions_avoided: int = 0
     beam_deduped: int = 0
-
-
-def lint_gated_order(
-    beam: list[str], analyzer: SemanticAnalyzer
-) -> tuple[list[str], dict[str, tuple[Diagnostic, ...]]]:
-    """Reorder ``beam`` so statically clean candidates execute first.
-
-    Candidates with error-tier diagnostics keep their relative ranking
-    but sink below every clean candidate — they are still reachable
-    (static analysis can be wrong; executability has the last word) but
-    no longer burn execution round-trips ahead of plausible SQL.
-    Returns the reordered beam plus each candidate's diagnostics.
-    """
-    diagnostics = {sql: tuple(analyzer.analyze_sql(sql)) for sql in beam}
-    clean = [sql for sql in beam if not has_errors(diagnostics[sql])]
-    dirty = [sql for sql in beam if has_errors(diagnostics[sql])]
-    return clean + dirty, diagnostics
+    trace: InferenceTrace | None = field(default=None, repr=False, compare=False)
 
 
 class CodeSParser:
@@ -171,6 +131,8 @@ class CodeSParser:
         lint_gate: bool = True,
         beam_perturber: Callable[[list[str]], list[str]] | None = None,
         equivalence_dedup: bool = True,
+        clock: Clock | None = None,
+        lm_registry: LMRegistry | None = None,
     ):
         self.config = config or get_model_config(model)
         self.use_pattern_similarity = use_pattern_similarity
@@ -180,8 +142,10 @@ class CodeSParser:
         #: equivalent queries share executability and results.
         self.equivalence_dedup = equivalence_dedup
         #: Fault-injection hook (e.g. reliability.SchemaHallucinator):
-        #: rewrites the assembled beam before the lint gate sees it.
+        #: applied by BeamPerturbMiddleware right after the rank stage
+        #: cuts the beam, before the lint gate sees it.
         self.beam_perturber = beam_perturber
+        self.clock = clock or SYSTEM_CLOCK
         options = options or PromptOptions()
         # The model's context length caps the prompt budget (Table 1:
         # CodeS-15B has the shorter 6,144-token context).
@@ -193,7 +157,7 @@ class CodeSParser:
                 options.max_prompt_chars, self.config.max_context_chars
             ),
         )
-        self.lm = pretrained_lm_for(self.config)
+        self.lm = (lm_registry or DEFAULT_LM_REGISTRY).lm_for(self.config)
         self.embedder = HashedNgramEmbedder(dim=self.config.embed_dim)
         self.extractor = SchemaFeatureExtractor(
             embedder=self.embedder,
@@ -204,9 +168,36 @@ class CodeSParser:
         self._lexical_scorer = LexicalSchemaScorer(self.extractor)
         self._index: list[_IndexEntry] = []
         self._skeleton_bank: list[Query] = self._mine_skeleton_bank()
-        self._builders: dict[tuple[int, int], PromptBuilder] = {}
-        self._analyzers: dict[int, SemanticAnalyzer] = {}
-        self._estimators: dict[int, CostEstimator] = {}
+        #: Per-database resources (builders, analyzers, estimators,
+        #: linking scores), shared by every engine this parser builds.
+        self.cache = StageCache()
+        self._engine = self.build_engine(cache=self.cache)
+
+    def build_engine(
+        self,
+        middleware: Iterable[Middleware] = (),
+        cache: StageCache | None = None,
+    ) -> Engine:
+        """A staged engine over this parser's model assets.
+
+        The default middleware chain — the Clock-driven TraceRecorder
+        and the beam-perturber adapter — always runs outermost-first;
+        ``middleware`` is appended after it.  Callers that want
+        isolated per-database resource reuse (the batch eval harness)
+        pass their own ``cache``.
+        """
+        base: tuple[Middleware, ...] = (
+            TraceRecorder(self.clock),
+            BeamPerturbMiddleware(provider=lambda: self.beam_perturber),
+        )
+        return build_default_engine(
+            self, middleware=base + tuple(middleware), cache=cache
+        )
+
+    @property
+    def engine(self) -> Engine:
+        """The parser's default staged engine."""
+        return self._engine
 
     # -- pre-training knowledge ----------------------------------------------
 
@@ -282,6 +273,11 @@ class CodeSParser:
             extractor=self.extractor, seed=self.seed
         )
         self.classifier.fit(linking, epochs=classifier_epochs, seed=self.seed)
+        # Builders and linking scores cached pre-fit were built without
+        # the trained classifier; drop them so inference sees it.
+        self.cache.clear_kind("builder")
+        self.cache.clear_kind("values")
+        self.cache.clear_kind("link")
 
     @property
     def fine_tuned(self) -> bool:
@@ -360,39 +356,8 @@ class CodeSParser:
             }
         )
         parser.classifier.trained = True
+        parser.cache.clear()
         return parser
-
-    # -- prompt construction ----------------------------------------------------
-
-    def _builder_for(self, database: Database) -> PromptBuilder:
-        key = (id(database), id(self.options))
-        if key not in self._builders:
-            self._builders[key] = PromptBuilder(
-                database, classifier=self.classifier, options=self.options
-            )
-        return self._builders[key]
-
-    def _analyzer_for(self, database: Database) -> SemanticAnalyzer:
-        """The (cached) semantic analyzer over the database's full schema.
-
-        The catalog deliberately uses the *unfiltered* schema: the
-        prompt's filtered view drops low-scoring columns, and a beam
-        candidate referencing a real-but-unprompted column is valid SQL,
-        not a hallucination.
-        """
-        key = id(database)
-        if key not in self._analyzers:
-            self._analyzers[key] = SemanticAnalyzer(
-                SchemaCatalog.from_database(database)
-            )
-        return self._analyzers[key]
-
-    def _estimator_for(self, database: Database) -> CostEstimator:
-        """The (cached) static cost estimator, sharing the analyzer's catalog."""
-        key = id(database)
-        if key not in self._estimators:
-            self._estimators[key] = CostEstimator(self._analyzer_for(database).catalog)
-        return self._estimators[key]
 
     # -- template retrieval ------------------------------------------------------
 
@@ -455,10 +420,16 @@ class CodeSParser:
         demonstrations: list[Text2SQLExample] | None = None,
         external_knowledge: str = "",
         degrade: bool = True,
+        engine: Engine | None = None,
     ) -> GenerationResult:
         """Translate ``question`` into SQL for ``database``.
 
-        With ``demonstrations`` the parser runs in few-shot ICL mode
+        Thin facade over the staged engine: assembles the
+        :class:`InferenceContext`, runs the nine stages, and packages
+        the context into a :class:`GenerationResult` (with the
+        per-stage ``trace``).
+
+        With ``demonstrations`` the engine runs in few-shot ICL mode
         (templates come from the demonstrations plus the pre-training
         skeleton bank); otherwise it uses the SFT index built by
         :meth:`fit`.
@@ -469,205 +440,31 @@ class CodeSParser:
         the answering tier on :attr:`GenerationResult.tier`.  Pass
         ``degrade=False`` to restore the strict behaviour that raises
         :class:`GenerationError` when no candidate can be built.
+
+        ``engine`` routes the run through a caller-held engine (the
+        batch harness keeps one per database); defaults to the
+        parser's own.
         """
-        # External knowledge clarifies *schema linking* ("'title' refers
-        # to book.t2"); it is not part of the user's ask, so literal
-        # extraction and template retrieval stay on the bare question.
-        linking_question = question
-        if external_knowledge:
-            linking_question = f"{question} ({external_knowledge})"
-        builder = self._builder_for(database)
-        prompt = builder.build(question, linking_question=linking_question)
-        matched = list(prompt.matched_values)
-
-        lexical = self._lexical_scorer.score_schema(
-            linking_question, prompt.schema, matched
-        )
-        if self.classifier is not None and self.classifier.trained:
-            learned = self.classifier.score_schema(
-                linking_question, prompt.schema, matched
-            )
-            # Surface evidence (names, comments, matched values) backs up
-            # the trained classifier: on schemas unlike the training
-            # distribution (renamed columns, new domains) the classifier
-            # is blind where the lexical signal still reads the comments.
-            scores = _blend_scores(learned, lexical)
-        else:
-            scores = lexical
-
-        representative = None
-        if self.options.include_representative_values:
-            representative = builder._representative
-        ctx = InstantiationContext(
+        ctx = InferenceContext(
             question=question,
-            schema=prompt.schema,
-            scores=scores,
-            matched_values=matched,
-            use_types=self.options.include_column_types,
-            slot_depth=self.config.slot_depth,
-            representative=representative,
+            database=database,
+            demonstrations=demonstrations,
+            external_knowledge=external_knowledge,
+            degrade=degrade,
         )
-
-        in_context_mode = demonstrations is not None
-        if in_context_mode:
-            entries = self._entries_from(demonstrations)
-        else:
-            entries = self._index
-        top_n = 2 + self.config.slot_depth
-        templates = self._retrieve_templates(question, entries, top_n)
-        if in_context_mode:
-            # Without fine-tuning, a model can only reliably *produce*
-            # SQL structures it absorbed during pre-training; templates
-            # outside its skeleton bank are heavily discounted.  This is
-            # where incremental pre-training pays off at inference time.
-            templates = [
-                (template, sim if self._knows_skeleton(template) else 0.35 * sim)
-                for template, sim in templates
-            ]
-        # The pre-training skeleton bank backs up sparse demonstrations;
-        # with no demonstrations at all (zero-shot), or only weakly
-        # matching ones, the model falls back on its whole structural
-        # repertoire, ranked by how well each skeleton's structure
-        # matches the question's cues.
-        best_sim = max((sim for _, sim in templates), default=0.0)
-        if templates and best_sim >= 0.45:
-            bank_quota = max(1, self.config.slot_depth)
-        else:
-            bank_quota = max(12, 6 * self.config.slot_depth)
-        for template in self._skeleton_bank[:bank_quota]:
-            prior = structure_prior(question, template)
-            templates.append((template, 0.35 * prior))
-
-        candidates: list[tuple[str, float]] = []
-        seen: set[str] = set()
-        for template, retrieval_sim in templates:
-            for candidate in instantiate_template(template, ctx):
-                filled = candidate.query
-                sql = serialize(filled)
-                key = sql.lower()
-                if key in seen:
-                    continue
-                seen.add(key)
-                used = filled.columns_used()
-                link_quality = (
-                    sum(scores.columns.get(col, 0.0) for col in used) / len(used)
-                    if used
-                    else 0.0
-                )
-                tables = filled.tables_used()
-                table_quality = (
-                    sum(scores.tables.get(name, 0.0) for name in tables) / len(tables)
-                    if tables
-                    else 0.0
-                )
-                score = (
-                    2.0 * retrieval_sim
-                    + 0.5 * link_quality
-                    + 0.4 * table_quality
-                    + 0.08 * self.lm.score(sql)
-                    + 0.25 * _value_bonus(filled, matched)
-                    - 0.1 * _projection_filter_overlap(filled)
-                    - 0.5 * _count_mismatch(filled, question)
-                    - 0.3 * candidate.ungrounded_literals
-                )
-                candidates.append((sql, score))
-        if not candidates and not degrade:
-            raise GenerationError(
-                f"no SQL candidate could be built for question {question!r}"
-            )
-        candidates.sort(key=lambda pair: -pair[1])
-        beam = [sql for sql, _ in candidates[: self.config.beam_size]]
-        if self.beam_perturber is not None and beam:
-            beam = list(self.beam_perturber(beam))
-
-        # Lint gate: statically dirty candidates sink below clean ones,
-        # so the execution-guided loop spends round-trips on SQL that at
-        # least references the schema it claims to.
-        lint: dict[str, tuple[Diagnostic, ...]] = {}
-        if self.lint_gate and beam:
-            ordered, lint = lint_gated_order(beam, self._analyzer_for(database))
-        else:
-            ordered = beam
-        demoted = {sql for sql, diags in lint.items() if has_errors(diags)}
-
-        # Equivalence dedup: canonically-equal candidates execute
-        # identically, so each class costs at most one round-trip —
-        # spent on its statically cheapest member.  Grouping runs on the
-        # linted order, so classes inherit the gate's clean-first rank.
-        if self.equivalence_dedup and ordered:
-            estimator = self._estimator_for(database)
-            groups: list[list[str]] = []
-            group_of: dict[str, int] = {}
-            for sql in ordered:
-                group_key = canonical_key_sql(sql)
-                if group_key in group_of:
-                    groups[group_of[group_key]].append(sql)
-                else:
-                    group_of[group_key] = len(groups)
-                    groups.append([sql])
-            beam_deduped = len(ordered) - len(groups)
-            representatives = [
-                min(group, key=estimator.estimate_sql) for group in groups
-            ]
-        else:
-            groups = [[sql] for sql in ordered]
-            beam_deduped = 0
-            representatives = [group[0] for group in groups]
-
-        # Degradation ladder: execution-guided beam -> skeleton-bank
-        # fallback -> safe sentinel.  Each tier only answers when the
-        # previous one produced nothing executable.
-        chosen = None
-        tier = "beam"
-        executions_used = 0
-        executed: set[str] = set()
-        dedup_avoided = beam_deduped  # full fall-through skips every duplicate
-        for group, representative in zip(groups, representatives):
-            executions_used += 1
-            executed.add(representative)
-            if database.is_executable(representative):
-                chosen = representative
-                # Without dedup the loop would have stopped at this
-                # class's first-ranked member; everything above it in
-                # the linted order minus the classes actually executed
-                # was saved by sharing executions.
-                dedup_avoided = ordered.index(group[0]) - (executions_used - 1)
-                break
-        if chosen is None and degrade:
-            chosen = self._skeleton_fallback(database, ctx)
-            tier = "skeleton"
-        if chosen is None:
-            if degrade:
-                chosen = SENTINEL_SQL
-                tier = "sentinel"
-            else:
-                # Legacy behaviour: surface the best-ranked candidate
-                # even though it does not execute.
-                chosen = ordered[0]
-                tier = "beam"
-        # Executions avoided: demoted candidates that outranked the
-        # winner in the raw beam (round-trips the ungated loop would
-        # have spent) plus duplicates that shared a representative's
-        # execution (round-trips the undeduped loop would have spent).
-        executions_avoided = 0
-        if tier == "beam" and chosen in beam:
-            executions_avoided = sum(
-                1
-                for sql in beam[: beam.index(chosen)]
-                if sql in demoted and sql not in executed
-            )
-        executions_avoided += dedup_avoided
+        (engine or self._engine).run(ctx)
         return GenerationResult(
-            sql=chosen,
-            executable=database.is_executable(chosen),
-            candidates=tuple(ordered),
-            prompt=prompt,
-            tier=tier,
-            diagnostics=lint.get(chosen, ()),
-            lint_demoted=len(demoted),
-            executions_used=executions_used,
-            executions_avoided=executions_avoided,
-            beam_deduped=beam_deduped,
+            sql=ctx.chosen,
+            executable=database.is_executable(ctx.chosen),
+            candidates=tuple(ctx.ordered),
+            prompt=ctx.prompt,
+            tier=ctx.tier,
+            diagnostics=ctx.lint.get(ctx.chosen, ()),
+            lint_demoted=len(ctx.demoted),
+            executions_used=ctx.executions_used,
+            executions_avoided=ctx.executions_avoided,
+            beam_deduped=ctx.beam_deduped,
+            trace=ctx.trace,
         )
 
     def _skeleton_fallback(
@@ -685,111 +482,3 @@ class CodeSParser:
                 if database.is_executable(sql):
                     return sql
         return None
-
-
-def _blend_scores(learned, lexical):
-    """Blend classifier probabilities with squashed lexical evidence."""
-    import math
-
-    from repro.linking.classifier import SchemaScores
-
-    def squash(value: float) -> float:
-        return 1.0 / (1.0 + math.exp(-(value - 1.2)))
-
-    return SchemaScores(
-        tables={
-            name: max(score, squash(lexical.tables.get(name, 0.0)))
-            for name, score in learned.tables.items()
-        },
-        columns={
-            key: max(score, squash(lexical.columns.get(key, 0.0)))
-            for key, score in learned.columns.items()
-        },
-    )
-
-
-def _predicate_bindings(query: Query) -> list[tuple[str, object]]:
-    """(column key, literal value) pairs of equality/IN predicates."""
-    from repro.sqlgen.ast import (
-        BinaryCondition, ColumnRef, CompoundCondition, InCondition, Literal,
-    )
-
-    bindings: list[tuple[str, object]] = []
-
-    def visit(cond) -> None:
-        if isinstance(cond, BinaryCondition):
-            if (
-                cond.op == "="
-                and isinstance(cond.left, ColumnRef)
-                and isinstance(cond.right, Literal)
-            ):
-                bindings.append((cond.left.key(), cond.right.value))
-        elif isinstance(cond, InCondition):
-            if isinstance(cond.expr, ColumnRef):
-                for value in cond.values:
-                    bindings.append((cond.expr.key(), value.value))
-        elif isinstance(cond, CompoundCondition):
-            for sub in cond.conditions:
-                visit(sub)
-
-    current = query
-    while current is not None:
-        if current.where is not None:
-            visit(current.where)
-        current = current.compound_query
-    return bindings
-
-
-def _value_bonus(query: Query, matched) -> float:
-    """Reward candidates whose predicates bind a retrieved value to the
-    column it was actually found in."""
-    if not matched:
-        return 0.0
-    matched_keys = {
-        (f"{m.table.lower()}.{m.column.lower()}", m.value) for m in matched
-    }
-    for column_key, value in _predicate_bindings(query):
-        if (column_key, value) in matched_keys:
-            return 1.0
-    return 0.0
-
-
-_COUNT_CUES = re.compile(r"\b(how many|number of|count|tally)\b", re.IGNORECASE)
-
-
-def _count_mismatch(query: Query, question: str) -> float:
-    """1.0 when the candidate's COUNT-ness contradicts the question.
-
-    Bare COUNT(*) projections should answer counting questions; a
-    question without a counting cue should not be answered by a count,
-    and vice versa (unless the count rides along a GROUP BY).
-    """
-    from repro.sqlgen.ast import Aggregation
-
-    has_cue = bool(_COUNT_CUES.search(question))
-    is_bare_count = (
-        len(query.select_items) == 1
-        and isinstance(query.select_items[0].expr, Aggregation)
-        and query.select_items[0].expr.func == "count"
-        and not query.group_by
-    )
-    if is_bare_count and not has_cue:
-        return 1.0
-    return 0.0
-
-
-def _projection_filter_overlap(query: Query) -> float:
-    """1.0 when a projected column is also equality-filtered.
-
-    Users rarely ask to display the very attribute they constrained to a
-    single value, so such candidates are slightly demoted.
-    """
-    from repro.sqlgen.ast import ColumnRef
-
-    projected = {
-        item.expr.key()
-        for item in query.select_items
-        if isinstance(item.expr, ColumnRef) and item.expr.column != "*"
-    }
-    filtered = {column_key for column_key, _ in _predicate_bindings(query)}
-    return float(bool(projected & filtered))

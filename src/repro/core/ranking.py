@@ -1,0 +1,144 @@
+"""Candidate scoring heuristics and beam ordering.
+
+These are the pure scoring functions the staged engine's ``rank`` and
+``lint_gate`` stages apply: question-grounded bonuses/penalties over a
+filled candidate AST, classifier/lexical score blending, and the
+lint-gated beam reorder.  They live here — importable by both
+:mod:`repro.core.parser` (the facade) and :mod:`repro.engine` (the
+stages) — and carry no pipeline state of their own.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.analysis.analyzer import SemanticAnalyzer
+from repro.analysis.diagnostics import Diagnostic, has_errors
+from repro.linking.classifier import SchemaScores
+from repro.sqlgen.ast import (
+    Aggregation,
+    BinaryCondition,
+    ColumnRef,
+    CompoundCondition,
+    InCondition,
+    Literal,
+    Query,
+)
+
+#: Last-resort SQL when every generation tier fails (always executable).
+SENTINEL_SQL = "SELECT 1"
+
+
+def lint_gated_order(
+    beam: list[str], analyzer: SemanticAnalyzer
+) -> tuple[list[str], dict[str, tuple[Diagnostic, ...]]]:
+    """Reorder ``beam`` so statically clean candidates execute first.
+
+    Candidates with error-tier diagnostics keep their relative ranking
+    but sink below every clean candidate — they are still reachable
+    (static analysis can be wrong; executability has the last word) but
+    no longer burn execution round-trips ahead of plausible SQL.
+    Returns the reordered beam plus each candidate's diagnostics.
+    """
+    diagnostics = {sql: tuple(analyzer.analyze_sql(sql)) for sql in beam}
+    clean = [sql for sql in beam if not has_errors(diagnostics[sql])]
+    dirty = [sql for sql in beam if has_errors(diagnostics[sql])]
+    return clean + dirty, diagnostics
+
+
+def blend_scores(learned: SchemaScores, lexical: SchemaScores) -> SchemaScores:
+    """Blend classifier probabilities with squashed lexical evidence."""
+
+    def squash(value: float) -> float:
+        return 1.0 / (1.0 + math.exp(-(value - 1.2)))
+
+    return SchemaScores(
+        tables={
+            name: max(score, squash(lexical.tables.get(name, 0.0)))
+            for name, score in learned.tables.items()
+        },
+        columns={
+            key: max(score, squash(lexical.columns.get(key, 0.0)))
+            for key, score in learned.columns.items()
+        },
+    )
+
+
+def predicate_bindings(query: Query) -> list[tuple[str, object]]:
+    """(column key, literal value) pairs of equality/IN predicates."""
+    bindings: list[tuple[str, object]] = []
+
+    def visit(cond) -> None:
+        if isinstance(cond, BinaryCondition):
+            if (
+                cond.op == "="
+                and isinstance(cond.left, ColumnRef)
+                and isinstance(cond.right, Literal)
+            ):
+                bindings.append((cond.left.key(), cond.right.value))
+        elif isinstance(cond, InCondition):
+            if isinstance(cond.expr, ColumnRef):
+                for value in cond.values:
+                    bindings.append((cond.expr.key(), value.value))
+        elif isinstance(cond, CompoundCondition):
+            for sub in cond.conditions:
+                visit(sub)
+
+    current = query
+    while current is not None:
+        if current.where is not None:
+            visit(current.where)
+        current = current.compound_query
+    return bindings
+
+
+def value_bonus(query: Query, matched) -> float:
+    """Reward candidates whose predicates bind a retrieved value to the
+    column it was actually found in."""
+    if not matched:
+        return 0.0
+    matched_keys = {
+        (f"{m.table.lower()}.{m.column.lower()}", m.value) for m in matched
+    }
+    for column_key, value in predicate_bindings(query):
+        if (column_key, value) in matched_keys:
+            return 1.0
+    return 0.0
+
+
+_COUNT_CUES = re.compile(r"\b(how many|number of|count|tally)\b", re.IGNORECASE)
+
+
+def count_mismatch(query: Query, question: str) -> float:
+    """1.0 when the candidate's COUNT-ness contradicts the question.
+
+    Bare COUNT(*) projections should answer counting questions; a
+    question without a counting cue should not be answered by a count,
+    and vice versa (unless the count rides along a GROUP BY).
+    """
+    has_cue = bool(_COUNT_CUES.search(question))
+    is_bare_count = (
+        len(query.select_items) == 1
+        and isinstance(query.select_items[0].expr, Aggregation)
+        and query.select_items[0].expr.func == "count"
+        and not query.group_by
+    )
+    if is_bare_count and not has_cue:
+        return 1.0
+    return 0.0
+
+
+def projection_filter_overlap(query: Query) -> float:
+    """1.0 when a projected column is also equality-filtered.
+
+    Users rarely ask to display the very attribute they constrained to a
+    single value, so such candidates are slightly demoted.
+    """
+    projected = {
+        item.expr.key()
+        for item in query.select_items
+        if isinstance(item.expr, ColumnRef) and item.expr.column != "*"
+    }
+    filtered = {column_key for column_key, _ in predicate_bindings(query)}
+    return float(bool(projected & filtered))

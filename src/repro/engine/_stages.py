@@ -1,0 +1,429 @@
+"""The nine pipeline stages of the staged inference engine.
+
+INTERNAL MODULE (ARCH004): only :mod:`repro.engine` may import it.
+Everything else consumes stages through
+:func:`repro.engine.build_default_engine`.
+
+Execution order and contracts over the shared
+:class:`~repro.engine.context.InferenceContext` (reads → writes):
+
+==============  ==========================================  =======================================
+stage           reads                                       writes
+==============  ==========================================  =======================================
+value_retrieve  question, external_knowledge                linking_question, builder, matched
+schema_link     linking_question, matched, builder          filtered, schema, scores
+prompt_build    filtered, matched, schema, scores           prompt, inst_ctx
+candidate_gen   question, demonstrations, inst_ctx          templates, raw_candidates
+rank            raw_candidates, question, matched, degrade  candidates, beam
+lint_gate       beam                                        analyzer, ordered, lint, demoted
+equiv_dedup     ordered, analyzer                           estimator, groups, representatives,
+                                                            beam_deduped
+execute_beam    groups, representatives, database           chosen, tier, executions_used,
+                                                            executed, dedup_avoided
+degrade         chosen, degrade, inst_ctx, beam, demoted    chosen, tier, executions_avoided
+==============  ==========================================  =======================================
+
+``value_retrieve`` runs before ``schema_link`` because the §6.1 schema
+filter *consumes* the §6.2 matched values (Algorithm 1 does the same);
+the prompt text is serialized last because it depends on the filtered
+schema but nothing downstream depends on the text itself.
+
+The stage bodies are line-for-line ports of the pre-refactor
+``CodeSParser.generate`` monolith; the golden parity suite
+(``pytest -m engine``) pins them to its captured outputs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.analyzer import SemanticAnalyzer
+from repro.analysis.catalog import SchemaCatalog
+from repro.analysis.cost import CostEstimator
+from repro.analysis.diagnostics import has_errors
+from repro.analysis.equivalence import canonical_key_sql
+from repro.core.ranking import (
+    SENTINEL_SQL,
+    blend_scores,
+    count_mismatch,
+    lint_gated_order,
+    projection_filter_overlap,
+    value_bonus,
+)
+from repro.core.slotfill import InstantiationContext, instantiate_template
+from repro.core.structure import structure_prior
+from repro.engine.context import InferenceContext
+from repro.errors import GenerationError
+from repro.promptgen.builder import (
+    DatabasePrompt,
+    PromptBuilder,
+    apply_schema_ablations,
+)
+from repro.sqlgen.serializer import serialize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.parser import CodeSParser
+
+
+class _ParserStage:
+    """Base: a stage bound to the parser whose model assets it uses."""
+
+    name = "abstract"
+
+    def __init__(self, parser: "CodeSParser"):
+        self.parser = parser
+
+    def run(self, ctx: InferenceContext) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ValueRetrieveStage(_ParserStage):
+    """Resolve the per-database prompt builder and retrieve values (§6.2).
+
+    External knowledge clarifies *schema linking* ("'title' refers to
+    book.t2"); it is not part of the user's ask, so value retrieval
+    stays on the bare question while ``linking_question`` carries the
+    augmented form for the filter and scorers downstream.
+    """
+
+    name = "value_retrieve"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        ctx.linking_question = ctx.question
+        if ctx.external_knowledge:
+            ctx.linking_question = f"{ctx.question} ({ctx.external_knowledge})"
+        ctx.builder = ctx.cache.get(
+            "builder",
+            (id(ctx.database), id(parser.options)),
+            lambda: PromptBuilder(
+                ctx.database, classifier=parser.classifier, options=parser.options
+            ),
+        )
+        matched = ctx.cache.get(
+            "values",
+            (id(ctx.builder), ctx.question),
+            lambda: ctx.builder.retrieve_values(ctx.question),
+        )
+        ctx.matched = list(matched)
+
+
+class SchemaLinkStage(_ParserStage):
+    """Filter the schema (§6.1) and score its items for slot filling.
+
+    Surface evidence (names, comments, matched values) backs up the
+    trained classifier: on schemas unlike the training distribution
+    (renamed columns, new domains) the classifier is blind where the
+    lexical signal still reads the comments.
+    """
+
+    name = "schema_link"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        linked = ctx.cache.get(
+            "link",
+            (id(ctx.builder), id(parser.classifier), ctx.question, ctx.linking_question),
+            lambda: self._link(ctx),
+        )
+        ctx.filtered, ctx.schema, ctx.scores = linked
+
+    def _link(self, ctx: InferenceContext):
+        parser = self.parser
+        filtered = ctx.builder.filter_schema(ctx.linking_question, ctx.matched)
+        effective = apply_schema_ablations(filtered.schema, parser.options)
+        lexical = parser._lexical_scorer.score_schema(
+            ctx.linking_question, effective, ctx.matched
+        )
+        if parser.classifier is not None and parser.classifier.trained:
+            learned = parser.classifier.score_schema(
+                ctx.linking_question, effective, ctx.matched
+            )
+            scores = blend_scores(learned, lexical)
+        else:
+            scores = lexical
+        return filtered, effective, scores
+
+
+class PromptBuildStage(_ParserStage):
+    """Serialize the database prompt (§6.3) and seed slot filling."""
+
+    name = "prompt_build"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        text = ctx.builder.serialize_prompt(ctx.filtered.schema, ctx.matched)
+        ctx.prompt = DatabasePrompt(
+            text=text,
+            schema=ctx.schema,
+            matched_values=tuple(ctx.matched),
+            kept_tables=ctx.filtered.kept_tables,
+            options=parser.options,
+        )
+        representative = None
+        if parser.options.include_representative_values:
+            representative = ctx.builder.representative_values
+        ctx.inst_ctx = InstantiationContext(
+            question=ctx.question,
+            schema=ctx.schema,
+            scores=ctx.scores,
+            matched_values=ctx.matched,
+            use_types=parser.options.include_column_types,
+            slot_depth=parser.config.slot_depth,
+            representative=representative,
+        )
+
+
+class CandidateGenStage(_ParserStage):
+    """Retrieve templates (§8.2) and instantiate them on the schema.
+
+    With demonstrations the engine runs in few-shot ICL mode: templates
+    come from the demonstrations, discounted when their skeleton lies
+    outside the model's pre-training bank (without fine-tuning a model
+    can only reliably *produce* structures it absorbed — this is where
+    incremental pre-training pays off at inference time).  The skeleton
+    bank backs up sparse or weakly matching templates with the model's
+    whole structural repertoire, ranked by question-cue fit.
+    """
+
+    name = "candidate_gen"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        in_context_mode = ctx.demonstrations is not None
+        if in_context_mode:
+            entries = parser._entries_from(ctx.demonstrations)
+        else:
+            entries = parser._index
+        top_n = 2 + parser.config.slot_depth
+        templates = parser._retrieve_templates(ctx.question, entries, top_n)
+        if in_context_mode:
+            templates = [
+                (template, sim if parser._knows_skeleton(template) else 0.35 * sim)
+                for template, sim in templates
+            ]
+        best_sim = max((sim for _, sim in templates), default=0.0)
+        if templates and best_sim >= 0.45:
+            bank_quota = max(1, parser.config.slot_depth)
+        else:
+            bank_quota = max(12, 6 * parser.config.slot_depth)
+        for template in parser._skeleton_bank[:bank_quota]:
+            prior = structure_prior(ctx.question, template)
+            templates.append((template, 0.35 * prior))
+        ctx.templates = templates
+
+        raw: list[tuple[str, object, float, int]] = []
+        seen: set[str] = set()
+        for template, retrieval_sim in templates:
+            for candidate in instantiate_template(template, ctx.inst_ctx):
+                filled = candidate.query
+                sql = serialize(filled)
+                key = sql.lower()
+                if key in seen:
+                    continue
+                seen.add(key)
+                raw.append(
+                    (sql, filled, retrieval_sim, candidate.ungrounded_literals)
+                )
+        ctx.raw_candidates = raw
+
+
+class RankStage(_ParserStage):
+    """Score candidates (retrieval sim + linking + LM prior + heuristics)
+    and cut the beam."""
+
+    name = "rank"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        scores = ctx.scores
+        candidates: list[tuple[str, float]] = []
+        for sql, filled, retrieval_sim, ungrounded in ctx.raw_candidates:
+            used = filled.columns_used()
+            link_quality = (
+                sum(scores.columns.get(col, 0.0) for col in used) / len(used)
+                if used
+                else 0.0
+            )
+            tables = filled.tables_used()
+            table_quality = (
+                sum(scores.tables.get(name, 0.0) for name in tables) / len(tables)
+                if tables
+                else 0.0
+            )
+            score = (
+                2.0 * retrieval_sim
+                + 0.5 * link_quality
+                + 0.4 * table_quality
+                + 0.08 * parser.lm.score(sql)
+                + 0.25 * value_bonus(filled, ctx.matched)
+                - 0.1 * projection_filter_overlap(filled)
+                - 0.5 * count_mismatch(filled, ctx.question)
+                - 0.3 * ungrounded
+            )
+            candidates.append((sql, score))
+        if not candidates and not ctx.degrade:
+            raise GenerationError(
+                f"no SQL candidate could be built for question {ctx.question!r}"
+            )
+        candidates.sort(key=lambda pair: -pair[1])
+        ctx.candidates = candidates
+        ctx.beam = [sql for sql, _ in candidates[: parser.config.beam_size]]
+
+
+class LintGateStage(_ParserStage):
+    """Sink statically dirty candidates below clean ones (PR 2).
+
+    The analyzer's catalog deliberately uses the *unfiltered* schema:
+    the prompt's filtered view drops low-scoring columns, and a beam
+    candidate referencing a real-but-unprompted column is valid SQL,
+    not a hallucination.
+    """
+
+    name = "lint_gate"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        ctx.lint = {}
+        if parser.lint_gate and ctx.beam:
+            ctx.analyzer = _analyzer(ctx)
+            ctx.ordered, ctx.lint = lint_gated_order(ctx.beam, ctx.analyzer)
+        else:
+            ctx.ordered = list(ctx.beam)
+        ctx.demoted = {
+            sql for sql, diags in ctx.lint.items() if has_errors(diags)
+        }
+
+
+class EquivDedupStage(_ParserStage):
+    """Collapse canonically-equivalent candidates into one execution (PR 3).
+
+    Grouping runs on the linted order, so classes inherit the gate's
+    clean-first rank; each class executes only its statically cheapest
+    member.  Sound because equivalent queries share executability and
+    results.
+    """
+
+    name = "equiv_dedup"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        if parser.equivalence_dedup and ctx.ordered:
+            ctx.analyzer = _analyzer(ctx)
+            ctx.estimator = ctx.cache.get(
+                "estimator",
+                id(ctx.database),
+                lambda: CostEstimator(ctx.analyzer.catalog),
+            )
+            groups: list[list[str]] = []
+            group_of: dict[str, int] = {}
+            for sql in ctx.ordered:
+                group_key = canonical_key_sql(sql)
+                if group_key in group_of:
+                    groups[group_of[group_key]].append(sql)
+                else:
+                    group_of[group_key] = len(groups)
+                    groups.append([sql])
+            ctx.groups = groups
+            ctx.beam_deduped = len(ctx.ordered) - len(groups)
+            ctx.representatives = [
+                min(group, key=ctx.estimator.estimate_sql) for group in groups
+            ]
+        else:
+            ctx.groups = [[sql] for sql in ctx.ordered]
+            ctx.beam_deduped = 0
+            ctx.representatives = [group[0] for group in ctx.groups]
+
+
+class ExecuteBeamStage(_ParserStage):
+    """Execution-guided selection (§9.1.4): first class that executes wins."""
+
+    name = "execute_beam"
+
+    def run(self, ctx: InferenceContext) -> None:
+        ctx.chosen = None
+        ctx.tier = "beam"
+        ctx.executions_used = 0
+        ctx.executed = set()
+        # Full fall-through skips every duplicate; a winner recomputes
+        # the saving from its class's first-ranked member below.
+        ctx.dedup_avoided = ctx.beam_deduped
+        for group, representative in zip(ctx.groups, ctx.representatives):
+            ctx.executions_used += 1
+            ctx.executed.add(representative)
+            if ctx.database.is_executable(representative):
+                ctx.chosen = representative
+                # Without dedup the loop would have stopped at this
+                # class's first-ranked member; everything above it in
+                # the linted order minus the classes actually executed
+                # was saved by sharing executions.
+                ctx.dedup_avoided = ctx.ordered.index(group[0]) - (
+                    ctx.executions_used - 1
+                )
+                break
+
+
+class DegradeStage(_ParserStage):
+    """Degradation ladder (PR 1): beam → skeleton bank → safe sentinel.
+
+    Each tier only answers when the previous one produced nothing
+    executable.  Also settles the ``executions_avoided`` accounting:
+    demoted candidates that outranked the winner in the raw beam
+    (round-trips the ungated loop would have spent) plus duplicates
+    that shared a representative's execution.
+    """
+
+    name = "degrade"
+
+    def run(self, ctx: InferenceContext) -> None:
+        parser = self.parser
+        if ctx.chosen is None and ctx.degrade:
+            ctx.chosen = parser._skeleton_fallback(ctx.database, ctx.inst_ctx)
+            ctx.tier = "skeleton"
+        if ctx.chosen is None:
+            if ctx.degrade:
+                ctx.chosen = SENTINEL_SQL
+                ctx.tier = "sentinel"
+            else:
+                # Legacy behaviour: surface the best-ranked candidate
+                # even though it does not execute.
+                ctx.chosen = ctx.ordered[0]
+                ctx.tier = "beam"
+        ctx.executions_avoided = 0
+        if ctx.tier == "beam" and ctx.chosen in ctx.beam:
+            ctx.executions_avoided = sum(
+                1
+                for sql in ctx.beam[: ctx.beam.index(ctx.chosen)]
+                if sql in ctx.demoted and sql not in ctx.executed
+            )
+        ctx.executions_avoided += ctx.dedup_avoided
+
+
+def _analyzer(ctx: InferenceContext) -> SemanticAnalyzer:
+    """The per-database semantic analyzer, resolved through the cache."""
+    if ctx.analyzer is not None:
+        return ctx.analyzer
+    return ctx.cache.get(
+        "analyzer",
+        id(ctx.database),
+        lambda: SemanticAnalyzer(SchemaCatalog.from_database(ctx.database)),
+    )
+
+
+#: Stage classes in execution order.
+DEFAULT_STAGE_CLASSES = (
+    ValueRetrieveStage,
+    SchemaLinkStage,
+    PromptBuildStage,
+    CandidateGenStage,
+    RankStage,
+    LintGateStage,
+    EquivDedupStage,
+    ExecuteBeamStage,
+    DegradeStage,
+)
+
+
+def default_stages(parser: "CodeSParser"):
+    """The canonical nine-stage list bound to ``parser``'s model assets."""
+    return tuple(stage_cls(parser) for stage_cls in DEFAULT_STAGE_CLASSES)

@@ -1,0 +1,61 @@
+"""Per-database resource cache shared across questions in batch mode.
+
+Prompt builders, semantic analyzers (with their schema catalogs), cost
+estimators, value-retrieval results and linking scores are all
+derivable from the database alone (or from ``(database, question)``)
+and are expensive to rebuild per question.  The :class:`StageCache`
+gives them an explicit, clearable lifecycle: stages resolve resources
+through :meth:`get`, hit/miss counters feed the per-stage trace, and
+:meth:`clear` drops everything (tests, database swaps, memory bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+
+class StageCache:
+    """Keyed factory cache with hit/miss accounting.
+
+    Keys are ``(kind, *key_parts)`` tuples — e.g. ``("builder", db_key)``
+    — so one cache instance can hold every resource kind the stages
+    need while :meth:`clear_kind` can still evict selectively.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, kind: str, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The cached value for ``(kind, key)``, building it on first use."""
+        full_key = (kind, key)
+        if full_key in self._store:
+            self.hits += 1
+            return self._store[full_key]
+        self.misses += 1
+        value = self._store[full_key] = factory()
+        return value
+
+    def clear(self) -> None:
+        """Drop every cached resource (counters included)."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def clear_kind(self, kind: str) -> int:
+        """Evict all entries of one resource kind; returns how many."""
+        doomed = [key for key in self._store if key[0] == kind]
+        for key in doomed:
+            del self._store[key]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, full_key: tuple) -> bool:
+        return full_key in self._store
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._store), "hits": self.hits, "misses": self.misses}

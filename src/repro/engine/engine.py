@@ -1,0 +1,73 @@
+"""The stage composer: run a fixed stage list over a shared context.
+
+An :class:`Engine` owns an ordered list of stages and a middleware
+chain that wraps *every* stage call — tracing, fault injection and any
+future cross-cutting concern plug in here instead of being spliced
+into the hot path.  Middleware composes like WSGI: the first entry is
+outermost, and each receives ``(stage, ctx, call_next)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Protocol, runtime_checkable
+
+from repro.engine.cache import StageCache
+from repro.engine.context import InferenceContext
+
+#: Middleware signature: wrap ``call_next()`` (the next middleware, or
+#: ultimately ``stage.run(ctx)``) with before/after behaviour.
+Middleware = Callable[["Stage", InferenceContext, Callable[[], None]], None]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline step with a typed contract over the shared context."""
+
+    #: Stable identifier used in traces, middleware targeting, reports.
+    name: str
+
+    def run(self, ctx: InferenceContext) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Engine:
+    """Composes stages and middleware into one inference pipeline."""
+
+    def __init__(
+        self,
+        stages: Iterable[Stage],
+        middleware: Iterable[Middleware] = (),
+        cache: StageCache | None = None,
+    ):
+        self.stages: tuple[Stage, ...] = tuple(stages)
+        self.middleware: tuple[Middleware, ...] = tuple(middleware)
+        self.cache = cache if cache is not None else StageCache()
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def run(self, ctx: InferenceContext) -> InferenceContext:
+        """Run every stage over ``ctx`` in order; returns ``ctx``."""
+        ctx.cache = self.cache
+        for stage in self.stages:
+            self._invoke(stage, ctx)
+        return ctx
+
+    def _invoke(self, stage: Stage, ctx: InferenceContext) -> None:
+        call: Callable[[], None] = lambda: stage.run(ctx)  # noqa: E731
+        for wrapper in reversed(self.middleware):
+            call = self._bind(wrapper, stage, ctx, call)
+        call()
+
+    @staticmethod
+    def _bind(
+        wrapper: Middleware,
+        stage: Stage,
+        ctx: InferenceContext,
+        inner: Callable[[], None],
+    ) -> Callable[[], None]:
+        return lambda: wrapper(stage, ctx, inner)

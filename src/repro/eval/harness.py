@@ -87,6 +87,12 @@ class EvalResult:
     (gold-side failures), and ``tiers`` how many answers each
     generation tier produced (``beam`` / ``skeleton`` / ``sentinel``).
 
+    Engine observability: ``stage_timings`` aggregates the per-stage
+    traces of every generation (wall time from the injectable Clock,
+    cache traffic, executions) — one entry per pipeline stage, empty
+    for parsers that do not emit traces.  :meth:`stage_rows` renders
+    it for :func:`repro.eval.reporting.format_table`.
+
     Semantic-analysis accounting: ``diagnostics`` maps analyzer rule
     codes to how often they fired across all predictions, and
     ``executions_avoided`` totals the execution round-trips the static
@@ -113,10 +119,32 @@ class EvalResult:
     executions_avoided: int = 0
     static_equivalent: int = 0
     beam_deduped: int = 0
+    stage_timings: dict[str, dict[str, float]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def n_failures(self) -> int:
         return sum(self.failures.values())
+
+    def stage_rows(self) -> list[dict[str, object]]:
+        """Per-stage timing rows (pipeline order) for table rendering."""
+        rows: list[dict[str, object]] = []
+        for stage, agg in self.stage_timings.items():
+            calls = int(agg["calls"]) or 1
+            rows.append(
+                {
+                    "stage": stage,
+                    "calls": int(agg["calls"]),
+                    "total_ms": round(1000 * agg["wall_s"], 2),
+                    "mean_ms": round(1000 * agg["wall_s"] / calls, 3),
+                    "cache_hit": int(agg["cache_hits"]),
+                    "cache_miss": int(agg["cache_misses"]),
+                    "exec_used": int(agg["executions_used"]),
+                    "exec_avoided": int(agg["executions_avoided"]),
+                }
+            )
+        return rows
 
     def as_row(self) -> dict[str, object]:
         row: dict[str, object] = {
@@ -155,6 +183,7 @@ def evaluate_parser(
     breaker_recovery_s: float = 30.0,
     clock: Clock | None = None,
     static_eval: bool = True,
+    batch: bool = False,
 ) -> EvalResult:
     """Evaluate ``parser`` on one split of ``dataset``.
 
@@ -183,6 +212,15 @@ def evaluate_parser(
     gold-executability probe, so a gold query that both matches the
     prediction canonically *and* fails to execute would score instead
     of quarantining (bundled gold sets are audited executable).
+
+    With ``batch`` (CLI ``--batch``) and a parser exposing
+    ``build_engine`` (:class:`repro.core.CodeSParser`), the harness
+    holds one staged engine — with its own
+    :class:`~repro.engine.cache.StageCache` — per database, so prompt
+    builders, analyzers, cost estimators and linking scores are reused
+    across every question on that database; the per-stage cache traffic
+    shows up in ``stage_timings``.  Per-stage traces are aggregated
+    whenever the parser emits them, batch mode or not.
     """
     examples = dataset.dev if split == "dev" else dataset.train
     if limit is not None:
@@ -199,6 +237,9 @@ def evaluate_parser(
     suites = suites if suites is not None else {}
     breakers: dict[str, CircuitBreaker] = {}
     analyzers: dict[str, SemanticAnalyzer] = {}
+    batch = batch and hasattr(parser, "build_engine")
+    engines: dict[str, object] = {}
+    stage_timings: dict[str, dict[str, float]] = {}
     hits = 0
     ts_hits = 0
     ves_total = 0.0
@@ -224,6 +265,14 @@ def evaluate_parser(
                 name=example.db_id,
             )
         kwargs: dict[str, object] = {}
+        if batch:
+            # One engine (and StageCache) per database: builders,
+            # analyzers, estimators and linking scores built for the
+            # first question on a database serve all the others.
+            engine = engines.get(example.db_id)
+            if engine is None:
+                engine = engines[example.db_id] = parser.build_engine()
+            kwargs["engine"] = engine
         if use_external_knowledge and example.external_knowledge:
             kwargs["external_knowledge"] = example.external_knowledge
         if fewshot:
@@ -250,6 +299,26 @@ def evaluate_parser(
             tiers[getattr(result, "tier", "beam")] += 1
             executions_avoided += getattr(result, "executions_avoided", 0)
             beam_deduped += getattr(result, "beam_deduped", 0)
+            trace = getattr(result, "trace", None)
+            if trace is not None:
+                for stage_trace in trace.stages:
+                    agg = stage_timings.setdefault(
+                        stage_trace.stage,
+                        {
+                            "calls": 0,
+                            "wall_s": 0.0,
+                            "cache_hits": 0,
+                            "cache_misses": 0,
+                            "executions_used": 0,
+                            "executions_avoided": 0,
+                        },
+                    )
+                    agg["calls"] += 1
+                    agg["wall_s"] += stage_trace.wall_s
+                    agg["cache_hits"] += stage_trace.cache_hits
+                    agg["cache_misses"] += stage_trace.cache_misses
+                    agg["executions_used"] += stage_trace.executions_used
+                    agg["executions_avoided"] += stage_trace.executions_avoided
         except ReproError as exc:
             predicted = SENTINEL_SQL
             tiers["sentinel"] += 1
@@ -359,6 +428,7 @@ def evaluate_parser(
         executions_avoided=executions_avoided,
         static_equivalent=static_equivalent,
         beam_deduped=beam_deduped,
+        stage_timings=stage_timings,
     )
 
 

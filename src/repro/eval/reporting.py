@@ -50,6 +50,19 @@ def _cell(value: Any) -> str:
     return str(value)
 
 
+def format_stage_report(result: "EvalResult") -> str:
+    """Aggregated per-stage engine timings of a run.
+
+    Empty string when the parser emitted no traces, so callers can
+    unconditionally ``print`` the report.
+    """
+    if not result.stage_timings:
+        return ""
+    return format_table(
+        result.stage_rows(), title=f"per-stage timing for {result.name}"
+    )
+
+
 def format_failure_report(result: "EvalResult", max_quarantined: int = 10) -> str:
     """Per-class failure counts plus the quarantine list of a run.
 

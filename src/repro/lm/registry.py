@@ -1,0 +1,57 @@
+"""Managed lifecycle for pre-trained LMs and their corpora.
+
+Pre-training is the expensive, deterministic step every parser shares;
+earlier revisions memoized it in unbounded module-level dict globals
+inside ``core/parser.py``.  :class:`LMRegistry` makes that lifecycle
+explicit: a registry instance owns its corpora and pre-trained LMs,
+``clear()`` releases them (tests, batch workers recycling memory), and
+independent registries isolate parallel evaluations from each other.
+The process-wide default registry keeps the old sharing behaviour for
+ordinary use.
+"""
+
+from __future__ import annotations
+
+from repro.config import ModelConfig
+from repro.lm.corpus import CorpusConfig, PretrainCorpus, build_corpus
+from repro.lm.pretrain import IncrementalPretrainer, PretrainedLM, pretrain_base_lm
+
+
+class LMRegistry:
+    """Cache of pre-training artifacts keyed by recipe, with a lifecycle."""
+
+    def __init__(self) -> None:
+        self._lms: dict[tuple[str, bool, int], PretrainedLM] = {}
+        self._corpora: dict[int, PretrainCorpus] = {}
+
+    def corpus(self, seed: int = 0) -> PretrainCorpus:
+        """The (cached) pre-training corpus for ``seed``."""
+        if seed not in self._corpora:
+            self._corpora[seed] = build_corpus(CorpusConfig(seed=seed))
+        return self._corpora[seed]
+
+    def lm_for(self, config: ModelConfig) -> PretrainedLM:
+        """The (cached) pre-trained LM for a model tier."""
+        key = (config.family, config.incremental, config.ngram_order)
+        if key not in self._lms:
+            corpus = self.corpus()
+            base = pretrain_base_lm(
+                config.family, order=config.ngram_order, corpus=corpus
+            )
+            if config.incremental:
+                base = IncrementalPretrainer(corpus=corpus).run(base)
+            self._lms[key] = base
+        return self._lms[key]
+
+    def clear(self) -> None:
+        """Drop every cached corpus and LM (they rebuild on next use)."""
+        self._lms.clear()
+        self._corpora.clear()
+
+    def __len__(self) -> int:
+        return len(self._lms) + len(self._corpora)
+
+
+#: Process-wide default: parsers share pre-training work unless handed
+#: an isolated registry.
+DEFAULT_LM_REGISTRY = LMRegistry()

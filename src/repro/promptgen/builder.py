@@ -42,7 +42,7 @@ class DatabasePrompt:
     options: PromptOptions = PromptOptions()
 
 
-def _apply_schema_ablations(schema: Schema, options: PromptOptions) -> Schema:
+def apply_schema_ablations(schema: Schema, options: PromptOptions) -> Schema:
     """Strip keys/comments from the structured schema per the options."""
     if options.include_keys and options.include_comments:
         return schema
@@ -103,6 +103,7 @@ class PromptBuilder:
         question: str,
         gold_sql: str | None = None,
         linking_question: str | None = None,
+        matched_values: list[MatchedValue] | None = None,
     ) -> DatabasePrompt:
         """Construct the prompt for ``question``.
 
@@ -111,42 +112,20 @@ class PromptBuilder:
         match (§6.1).  ``linking_question`` (question + external
         knowledge) drives the schema filter; value retrieval always uses
         the bare question, whose words are what the database stores.
+        ``matched_values`` short-circuits retrieval when the caller (the
+        engine's value_retrieve stage) already ran it.
         """
         linking_question = linking_question or question
-        matched: list[MatchedValue] = []
-        if self._value_retriever is not None:
-            matched = self._value_retriever.retrieve(question)
-
-        schema = self.database.schema
-        if self.options.use_schema_filter:
-            if gold_sql is not None:
-                try:
-                    filtered = self._schema_filter.filter_training(
-                        question, schema, gold_sql
-                    )
-                except SQLSyntaxError:
-                    filtered = self._schema_filter.filter(
-                        linking_question, schema, matched
-                    )
-            else:
-                filtered = self._schema_filter.filter(
-                    linking_question, schema, matched
-                )
-        else:
-            filtered = FilteredSchema(
-                schema=schema,
-                kept_tables=tuple(t.name.lower() for t in schema.tables),
-                kept_columns={
-                    t.name.lower(): tuple(c.name for c in t.columns)
-                    for t in schema.tables
-                },
-            )
-
-        text = self._serialize(filtered.schema, matched, self.options)
-        budget = self.options.max_prompt_chars
-        if len(text) > budget:
-            text = self._shrink(filtered.schema, matched, budget)
-        effective_schema = _apply_schema_ablations(filtered.schema, self.options)
+        matched = (
+            self.retrieve_values(question)
+            if matched_values is None
+            else list(matched_values)
+        )
+        filtered = self.filter_schema(
+            linking_question, matched, gold_sql=gold_sql, question=question
+        )
+        text = self.serialize_prompt(filtered.schema, matched)
+        effective_schema = apply_schema_ablations(filtered.schema, self.options)
         return DatabasePrompt(
             text=text,
             schema=effective_schema,
@@ -155,9 +134,67 @@ class PromptBuilder:
             options=self.options,
         )
 
+    def retrieve_values(self, question: str) -> list[MatchedValue]:
+        """Database values matching the question (§6.2), possibly none."""
+        if self._value_retriever is None:
+            return []
+        return self._value_retriever.retrieve(question)
+
+    def filter_schema(
+        self,
+        linking_question: str,
+        matched: list[MatchedValue],
+        gold_sql: str | None = None,
+        question: str | None = None,
+    ) -> FilteredSchema:
+        """Classifier-ranked schema filtering (§6.1).
+
+        With ``gold_sql`` the training-time path keeps the used schema
+        items (padded); it falls back to the test-time filter when the
+        gold SQL does not parse.  ``question`` is the bare question the
+        training filter matches against (defaults to
+        ``linking_question``).
+        """
+        schema = self.database.schema
+        if not self.options.use_schema_filter:
+            return FilteredSchema(
+                schema=schema,
+                kept_tables=tuple(t.name.lower() for t in schema.tables),
+                kept_columns={
+                    t.name.lower(): tuple(c.name for c in t.columns)
+                    for t in schema.tables
+                },
+            )
+        if gold_sql is not None:
+            try:
+                return self._schema_filter.filter_training(
+                    question if question is not None else linking_question,
+                    schema,
+                    gold_sql,
+                )
+            except SQLSyntaxError:
+                pass
+        return self._schema_filter.filter(linking_question, schema, matched)
+
+    def serialize_prompt(
+        self, schema: Schema, matched: list[MatchedValue]
+    ) -> str:
+        """Serialize ``schema`` + matched values within the char budget."""
+        text = self._serialize(schema, matched, self.options)
+        budget = self.options.max_prompt_chars
+        if len(text) > budget:
+            text = self._shrink(schema, matched, budget)
+        return text
+
     # -- serialization ------------------------------------------------------
 
-    def _representative(self, table: str, column: str) -> list:
+    def representative_values(self, table: str, column: str) -> list:
+        """Cached representative cell values for one column (§6.3).
+
+        Public accessor: the engine's prompt_build stage hands this to
+        slot filling so literal grounding sees the same values the
+        serialized prompt shows.
+        """
         key = (table.lower(), column.lower())
         if key not in self._representative_cache:
             self._representative_cache[key] = self.database.representative_values(
@@ -183,7 +220,7 @@ class PromptBuilder:
                 if options.include_comments and column.comment:
                     attributes.append(f"comment : {column.comment}")
                 if options.include_representative_values:
-                    values = self._representative(table.name, column.name)
+                    values = self.representative_values(table.name, column.name)
                     if values:
                         rendered = " , ".join(_render_value(v) for v in values)
                         attributes.append(f"values : {rendered}")

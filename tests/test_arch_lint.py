@@ -15,7 +15,11 @@ _spec.loader.exec_module(arch_lint)
 
 
 def _rules(
-    source: str, clock_exempt: bool = False, identifier_exempt: bool = False
+    source: str,
+    clock_exempt: bool = False,
+    identifier_exempt: bool = False,
+    engine_exempt: bool = False,
+    pipeline_exempt: bool = False,
 ) -> list[str]:
     return [
         v.rule
@@ -24,6 +28,8 @@ def _rules(
             "mod.py",
             clock_exempt=clock_exempt,
             identifier_exempt=identifier_exempt,
+            engine_exempt=engine_exempt,
+            pipeline_exempt=pipeline_exempt,
         )
     ]
 
@@ -125,6 +131,46 @@ class TestLowerComparisonRule:
             "ok = identifier_key(a) == identifier_key(b)\n"
         )
         assert _rules(source) == []
+
+
+class TestEngineEncapsulationRule:
+    def test_direct_stage_internals_import_flagged(self):
+        assert _rules("import repro.engine._stages\n") == ["ARCH004"]
+
+    def test_from_stage_internals_import_flagged(self):
+        source = "from repro.engine._stages import RankStage\n"
+        assert _rules(source) == ["ARCH004"]
+
+    def test_submodule_spelling_flagged(self):
+        source = "from repro.engine import _stages\n"
+        assert _rules(source) == ["ARCH004"]
+
+    def test_public_engine_api_clean(self):
+        source = "from repro.engine import build_default_engine, Engine\n"
+        assert _rules(source) == []
+
+    def test_engine_package_exempt(self):
+        source = "from repro.engine._stages import default_stages\n"
+        assert _rules(source, engine_exempt=True) == []
+
+    def test_pipeline_reimplementation_flagged(self):
+        source = (
+            "from repro.core.slotfill import instantiate_template\n"
+            "from repro.core.ranking import lint_gated_order\n"
+        )
+        assert _rules(source) == ["ARCH004"]
+
+    def test_single_ingredient_clean(self):
+        # importing one private ingredient alone is not a pipeline.
+        assert _rules("from repro.core.slotfill import instantiate_template\n") == []
+        assert _rules("from repro.core.ranking import lint_gated_order\n") == []
+
+    def test_pipeline_owners_exempt(self):
+        source = (
+            "from repro.core.slotfill import instantiate_template\n"
+            "from repro.core.ranking import lint_gated_order\n"
+        )
+        assert _rules(source, pipeline_exempt=True) == []
 
 
 class TestRepoGate:
