@@ -1,0 +1,123 @@
+"""Serving throughput: micro-batched server vs. sequential baseline.
+
+The sequential baseline answers each request with a fresh engine (and
+therefore a fresh StageCache) — the cost profile of a naive
+one-request-per-process deployment.  The batched path routes the same
+requests through the :class:`repro.serving.Server`, whose scheduler
+groups them by database so each batch reuses one warm engine per
+database (shared link assets, memoized embeddings/features, per-SQL
+score/lint/cost memos).
+
+Correctness drift is checked per request: the server must return
+byte-identical SQL to a direct ``generate()`` call for every question.
+Watermarks are set high enough that no batch degrades below full
+effort, so this is a pure throughput comparison, not a quality trade.
+"""
+
+import time
+
+from repro.config import CODES_TIERS
+from repro.serving import Completed, Server, ServerConfig, ServeRequest
+
+LIMIT = 32
+
+
+def _requests(spider):
+    examples = spider.dev[:LIMIT]
+    return [
+        (
+            ServeRequest(
+                request_id=f"r{index:04d}",
+                question=example.question,
+                db_id=example.db_id,
+            ),
+            example,
+        )
+        for index, example in enumerate(examples)
+    ]
+
+
+def test_serving_throughput_vs_sequential(benchmark, spider, parsers, report):
+    def run():
+        rows = []
+        speedups = []
+        total_drift = 0
+        for tier in CODES_TIERS:
+            parser = parsers.sft(tier, spider)
+            pairs = _requests(spider)
+
+            # Sequential baseline: fresh engine per request.
+            start = time.perf_counter()
+            expected = {}
+            for request, example in pairs:
+                engine = parser.build_engine()
+                result = parser.generate(
+                    request.question,
+                    spider.database_of(example),
+                    engine=engine,
+                )
+                expected[request.request_id] = result.sql
+            sequential_s = time.perf_counter() - start
+
+            # Batched: micro-batches grouped by database share one warm
+            # engine per database; watermarks high enough to stay at
+            # full effort throughout.
+            server = Server(
+                parser,
+                spider.databases,
+                config=ServerConfig(
+                    queue_capacity=LIMIT,
+                    batch_size=8,
+                    skeleton_watermark=4 * LIMIT,
+                    sentinel_watermark=8 * LIMIT,
+                ),
+            )
+            start = time.perf_counter()
+            for request, _ in pairs:
+                assert server.submit(request) is None
+            outcomes = server.drain()
+            batched_s = time.perf_counter() - start
+
+            assert len(outcomes) == len(pairs)
+            assert all(isinstance(outcome, Completed) for outcome in outcomes)
+            drift = sum(
+                1
+                for outcome in outcomes
+                if outcome.sql != expected[outcome.request.request_id]
+            )
+            total_drift += drift
+            speedup = sequential_s / batched_s
+            speedups.append(speedup)
+            metrics = server.metrics()
+            rows.append(
+                {
+                    "model": f"SFT {tier}",
+                    "requests": len(pairs),
+                    "sequential s": round(sequential_s, 3),
+                    "batched s": round(batched_s, 3),
+                    "sequential rps": round(len(pairs) / sequential_s, 2),
+                    "batched rps": round(len(pairs) / batched_s, 2),
+                    "speedup": round(speedup, 2),
+                    "cache hit%": round(
+                        100
+                        * metrics.cache_hits
+                        / max(1, metrics.cache_hits + metrics.cache_misses),
+                        1,
+                    ),
+                    "drift": drift,
+                }
+            )
+        report(
+            "serving_throughput",
+            rows,
+            f"micro-batched serving vs. sequential (spider dev, "
+            f"{LIMIT} requests, batch size 8)",
+        )
+        return rows, speedups, total_drift
+
+    rows, speedups, total_drift = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Zero correctness drift: the server returns exactly the SQL a
+    # direct generate() call produces, for every request on every tier.
+    assert total_drift == 0
+    # Batching must be worth it: >= 1.5x on at least one tier.
+    assert max(speedups) >= 1.5, f"speedups {speedups}"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Architectural lint for the repro source tree.
 
-Four rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
+Five rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
 
 ARCH001 — raw clock reads.  ``time.time()``, ``time.monotonic()``,
     ``time.perf_counter()``, ``datetime.now()`` and ``datetime.utcnow()``
@@ -38,6 +38,14 @@ ARCH004 — engine stage encapsulation.  The staged-inference internals
     (``repro.core.slotfill`` and ``repro.core.ranking``) in one
     module.  The decomposition only stays a refactor if exactly one
     place wires the stages together.
+
+ARCH005 — concurrency containment.  Thread, lock, and queue
+    primitives (``threading``, ``_thread``, ``queue``,
+    ``multiprocessing``, ``concurrent.*``) may only be imported inside
+    ``serving/`` and ``reliability/``.  The engine, the parser, and
+    every model layer stay single-threaded and deterministic; all
+    concurrency lives behind the serving facade where it is tested on
+    a FakeClock.
 
 Usage::
 
@@ -89,6 +97,13 @@ PIPELINE_INGREDIENTS = ("repro.core.slotfill", "repro.core.ranking")
 
 #: path prefixes allowed to compose the pipeline ingredients.
 PIPELINE_ALLOWLIST_PREFIXES = ("core/", ENGINE_PREFIX)
+
+#: top-level modules whose import marks concurrency (ARCH005).
+CONCURRENCY_MODULES = ("threading", "_thread", "queue", "multiprocessing", "concurrent")
+
+#: path prefixes (relative to the lint root) allowed to use concurrency
+#: primitives.
+CONCURRENCY_ALLOWLIST_PREFIXES = ("serving/", "reliability/")
 
 
 @dataclass(frozen=True)
@@ -187,6 +202,7 @@ def lint_source(
     identifier_exempt: bool = False,
     engine_exempt: bool = False,
     pipeline_exempt: bool = False,
+    concurrency_exempt: bool = False,
 ) -> list[Violation]:
     """Lint one module's source text; ``path`` is used in messages only."""
     tree = ast.parse(source, filename=path)
@@ -219,6 +235,26 @@ def lint_source(
                             ingredient + "."
                         ):
                             pipeline_imports.setdefault(ingredient, node.lineno)
+            if not concurrency_exempt:
+                for module in modules:
+                    if any(
+                        module == primitive or module.startswith(primitive + ".")
+                        for primitive in CONCURRENCY_MODULES
+                    ):
+                        violations.append(
+                            Violation(
+                                path=path,
+                                line=node.lineno,
+                                rule="ARCH005",
+                                message=(
+                                    f"concurrency primitive import ({module}) "
+                                    "outside serving/ and reliability/; the "
+                                    "engine and model layers stay "
+                                    "single-threaded"
+                                ),
+                            )
+                        )
+                        break
         if (
             isinstance(node, ast.Compare)
             and not identifier_exempt
@@ -296,6 +332,9 @@ def lint_tree(root: Path) -> list[Violation]:
                 engine_exempt=relative.startswith(ENGINE_PREFIX),
                 pipeline_exempt=relative.startswith(
                     PIPELINE_ALLOWLIST_PREFIXES
+                ),
+                concurrency_exempt=relative.startswith(
+                    CONCURRENCY_ALLOWLIST_PREFIXES
                 ),
             )
         )

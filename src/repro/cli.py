@@ -9,6 +9,8 @@ Subcommands::
     repro augment --domain bank_financials --out pairs.json
     repro lint --dataset all                # audit gold SQL semantically
     repro equiv --dataset spider            # duplicate-ratio / verdict report
+    repro serve --dataset spider < requests.jsonl   # one-shot JSONL serving
+    repro loadgen --dataset spider --seed 7 # seeded open-loop load report
 
 Everything runs offline and deterministically.
 """
@@ -42,10 +44,21 @@ from repro.errors import DeadlineExceededError
 from repro.eval.harness import evaluate_parser, pair_samples
 from repro.eval.reporting import (
     format_failure_report,
+    format_serving_report,
     format_stage_report,
     format_table,
 )
-from repro.reliability import Deadline, RetryPolicy
+from repro.reliability import Deadline, FakeClock, RetryPolicy
+from repro.serving import (
+    Completed,
+    Server,
+    ServerConfig,
+    ServeRequest,
+    ServiceModel,
+    Shed,
+    poisson_workload,
+    run_loadgen,
+)
 
 _BUILDERS = {
     "spider": build_spider,
@@ -305,6 +318,115 @@ def _cmd_augment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _server_config(args: argparse.Namespace) -> ServerConfig:
+    return ServerConfig(
+        queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size,
+        skeleton_watermark=args.skeleton_watermark,
+        sentinel_watermark=args.sentinel_watermark,
+        rate_per_tenant=args.rate_per_tenant,
+        default_deadline_s=args.deadline_s,
+    )
+
+
+def _outcome_line(outcome) -> str:
+    """One JSONL line per terminal outcome (stable key order)."""
+    payload: dict[str, object] = {
+        "id": outcome.request.request_id,
+        "status": outcome.status,
+    }
+    if isinstance(outcome, Completed):
+        payload["sql"] = outcome.sql
+        payload["tier"] = outcome.tier
+        payload["latency_s"] = round(outcome.latency_s, 6)
+        payload["queue_s"] = round(outcome.queue_s, 6)
+    elif isinstance(outcome, Shed):
+        payload["reason"] = outcome.reason
+    else:
+        payload["error"] = outcome.error
+    return json.dumps(payload, sort_keys=True)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """One-shot serving: JSONL requests in, JSONL outcomes out.
+
+    Each input line is ``{"question": ..., "db_id": ..., "id"?,
+    "tenant"?, "deadline_s"?}``.  Every request is submitted, the queue
+    is drained through the micro-batch scheduler, and one JSON line per
+    outcome is printed in input order.
+    """
+    dataset = _build_dataset(args.dataset)
+    parser = CodeSParser(args.model)
+    if dataset.train:
+        parser.fit(pair_samples(dataset))
+    server = Server(parser, dataset.databases, config=_server_config(args))
+    handle = open(args.input, encoding="utf-8") if args.input else sys.stdin
+    try:
+        requests = []
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            requests.append(
+                ServeRequest(
+                    request_id=str(record.get("id", f"q{index:04d}")),
+                    question=record["question"],
+                    db_id=record.get("db_id") or next(iter(dataset.databases)),
+                    tenant=record.get("tenant", "default"),
+                    deadline_s=record.get("deadline_s"),
+                )
+            )
+    finally:
+        if args.input:
+            handle.close()
+    outcomes = []
+    for request in requests:
+        immediate = server.submit(request)
+        if immediate is not None:
+            outcomes.append(immediate)
+    outcomes.extend(server.drain())
+    by_id = {outcome.request.request_id: outcome for outcome in outcomes}
+    for request in requests:
+        print(_outcome_line(by_id[request.request_id]))
+    if args.metrics:
+        print(format_serving_report(server.metrics()), file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Seeded open-loop load generation on a FakeClock.
+
+    Arrivals are Poisson at ``--rate``/s cycling through the dev split;
+    service time comes from a flat per-tier model, so the printed
+    throughput/latency/shed report is byte-stable for a given seed.
+    """
+    clock = FakeClock()
+    dataset = _build_dataset(args.dataset)
+    parser = CodeSParser(args.model, clock=clock)
+    if dataset.train:
+        parser.fit(pair_samples(dataset))
+    server = Server(
+        parser,
+        dataset.databases,
+        config=_server_config(args),
+        clock=clock,
+        service_model=ServiceModel(),
+    )
+    arrivals = poisson_workload(
+        dataset.dev,
+        n=args.n,
+        rate=args.rate,
+        seed=args.seed,
+        deadline_s=args.deadline_s,
+    )
+    result = run_loadgen(
+        server, arrivals, title=f"loadgen {args.dataset} seed={args.seed}"
+    )
+    print(result.report)
+    return 0
+
+
 def _add_reliability_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--deadline-s", type=float, default=None,
@@ -313,6 +435,28 @@ def _add_reliability_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--max-retries", type=int, default=0,
         help="retries for transient generation/execution failures",
+    )
+
+
+def _add_serving_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--queue-capacity", type=int, default=64)
+    subparser.add_argument("--batch-size", type=int, default=4)
+    subparser.add_argument(
+        "--skeleton-watermark", type=int, default=8,
+        help="queue depth at which batches drop to skeleton effort",
+    )
+    subparser.add_argument(
+        "--sentinel-watermark", type=int, default=24,
+        help="queue depth at which batches answer with the sentinel",
+    )
+    subparser.add_argument(
+        "--rate-per-tenant", type=float, default=None,
+        help="token-bucket refill rate per tenant (requests/s); "
+             "omit to disable rate limiting",
+    )
+    subparser.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="default end-to-end deadline per request (seconds)",
     )
 
 
@@ -424,6 +568,40 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="cap on within-database query pairs fed to the prover",
     )
     equiv_parser.set_defaults(func=_cmd_equiv)
+
+    serve_parser = sub.add_parser(
+        "serve", help="one-shot JSONL serving through the micro-batch scheduler"
+    )
+    serve_parser.add_argument("--dataset", default="bank_financials")
+    serve_parser.add_argument(
+        "--model", default="codes-1b", choices=sorted(MODEL_REGISTRY)
+    )
+    serve_parser.add_argument(
+        "--input", default=None,
+        help="JSONL request file (default: stdin); each line is "
+             '{"question": ..., "db_id": ..., "id"?, "tenant"?, "deadline_s"?}',
+    )
+    serve_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the server metrics snapshot to stderr after serving",
+    )
+    _add_serving_flags(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen", help="seeded open-loop Poisson load report on a fake clock"
+    )
+    loadgen_parser.add_argument("--dataset", default="bank_financials")
+    loadgen_parser.add_argument(
+        "--model", default="codes-1b", choices=sorted(MODEL_REGISTRY)
+    )
+    loadgen_parser.add_argument("--n", type=int, default=64,
+                                help="number of arrivals")
+    loadgen_parser.add_argument("--rate", type=float, default=30.0,
+                                help="Poisson arrival rate (requests/s)")
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    _add_serving_flags(loadgen_parser)
+    loadgen_parser.set_defaults(func=_cmd_loadgen)
     return parser
 
 

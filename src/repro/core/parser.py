@@ -278,6 +278,7 @@ class CodeSParser:
         self.cache.clear_kind("builder")
         self.cache.clear_kind("values")
         self.cache.clear_kind("link")
+        self.cache.clear_kind("link_assets")
 
     @property
     def fine_tuned(self) -> bool:
@@ -421,6 +422,7 @@ class CodeSParser:
         external_knowledge: str = "",
         degrade: bool = True,
         engine: Engine | None = None,
+        effort: str = "full",
     ) -> GenerationResult:
         """Translate ``question`` into SQL for ``database``.
 
@@ -444,13 +446,28 @@ class CodeSParser:
         ``engine`` routes the run through a caller-held engine (the
         batch harness keeps one per database); defaults to the
         parser's own.
+
+        ``effort`` selects how much work the pipeline spends:
+        ``"full"`` (the default) runs the whole beam search, while
+        ``"skeleton"`` skips candidate generation and ranking so the
+        degradation ladder answers from the pre-training skeleton bank
+        directly — the serving layer requests this under overload.
+        Reduced effort requires ``degrade=True`` (there is no beam to
+        surface when degradation is off).
         """
+        if effort not in ("full", "skeleton"):
+            raise ValueError(
+                f"effort must be 'full' or 'skeleton', got {effort!r}"
+            )
+        if effort != "full" and not degrade:
+            raise ValueError("reduced effort requires degrade=True")
         ctx = InferenceContext(
             question=question,
             database=database,
             demonstrations=demonstrations,
             external_knowledge=external_knowledge,
             degrade=degrade,
+            effort=effort,
         )
         (engine or self._engine).run(ctx)
         return GenerationResult(

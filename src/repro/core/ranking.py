@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import re
+from typing import Callable
 
 from repro.analysis.analyzer import SemanticAnalyzer
 from repro.analysis.diagnostics import Diagnostic, has_errors
@@ -31,7 +32,9 @@ SENTINEL_SQL = "SELECT 1"
 
 
 def lint_gated_order(
-    beam: list[str], analyzer: SemanticAnalyzer
+    beam: list[str],
+    analyzer: SemanticAnalyzer,
+    analyze: "Callable[[str], tuple[Diagnostic, ...]] | None" = None,
 ) -> tuple[list[str], dict[str, tuple[Diagnostic, ...]]]:
     """Reorder ``beam`` so statically clean candidates execute first.
 
@@ -40,8 +43,14 @@ def lint_gated_order(
     (static analysis can be wrong; executability has the last word) but
     no longer burn execution round-trips ahead of plausible SQL.
     Returns the reordered beam plus each candidate's diagnostics.
+
+    ``analyze`` overrides how one candidate's diagnostics are computed
+    (the staged engine passes a per-database memo); it must behave
+    exactly like ``tuple(analyzer.analyze_sql(sql))``.
     """
-    diagnostics = {sql: tuple(analyzer.analyze_sql(sql)) for sql in beam}
+    if analyze is None:
+        analyze = lambda sql: tuple(analyzer.analyze_sql(sql))  # noqa: E731
+    diagnostics = {sql: analyze(sql) for sql in beam}
     clean = [sql for sql in beam if not has_errors(diagnostics[sql])]
     dirty = [sql for sql in beam if has_errors(diagnostics[sql])]
     return clean + dirty, diagnostics

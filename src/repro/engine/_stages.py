@@ -35,6 +35,7 @@ The stage bodies are line-for-line ports of the pre-refactor
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis.analyzer import SemanticAnalyzer
@@ -54,15 +55,113 @@ from repro.core.slotfill import InstantiationContext, instantiate_template
 from repro.core.structure import structure_prior
 from repro.engine.context import InferenceContext
 from repro.errors import GenerationError
+from repro.linking.features import (
+    MemoizedSchemaFeatureExtractor,
+    SchemaFeatureExtractor,
+)
+from repro.linking.lexical import LexicalSchemaScorer
 from repro.promptgen.builder import (
     DatabasePrompt,
     PromptBuilder,
     apply_schema_ablations,
 )
 from repro.sqlgen.serializer import serialize
+from repro.text.embedder import MemoizedEmbedder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.parser import CodeSParser
+    from repro.linking.classifier import SchemaItemClassifier
+
+
+@dataclass(frozen=True)
+class _LinkAssets:
+    """Per-database schema-linking assets sharing one embedding memo.
+
+    Profiling shows hashed-n-gram embedding dominates request time, and
+    linking embeds the same texts over and over: the question once per
+    schema item per scoring pass, every item's name/comment once per
+    question.  Bundling the extractor, the lexical scorer, and a
+    classifier scoring view around one :class:`MemoizedEmbedder` —
+    resolved through the :class:`StageCache`, so scoped per database —
+    makes the repeats free while producing bit-identical scores.
+    """
+
+    extractor: SchemaFeatureExtractor
+    lexical: LexicalSchemaScorer
+    classifier: "SchemaItemClassifier | None"
+
+
+class _SqlMemos:
+    """Per-database memos for pure per-SQL computations.
+
+    Ranked candidates repeat heavily across questions on one schema
+    (common templates instantiate to the same SQL), and the LM prior,
+    canonical equivalence key, lint diagnostics, and static cost of a
+    given SQL string never change for a fixed database.  Memoizing them
+    per database turns the repeats into dict hits with bit-identical
+    values.  Each memo is LRU-bounded by ``capacity``.
+    """
+
+    STORES = ("lm", "key", "lint", "cost")
+
+    def __init__(self, capacity: int | None = 4096):
+        self.capacity = capacity
+        self._stores: dict[str, dict] = {name: {} for name in self.STORES}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, store_name: str, sql: str, factory):
+        store = self._stores[store_name]
+        if sql in store:
+            self.hits += 1
+            # LRU bookkeeping: re-insertion moves the key to the end.
+            value = store[sql] = store.pop(sql)
+            return value
+        self.misses += 1
+        value = store[sql] = factory()
+        if self.capacity is not None and len(store) > self.capacity:
+            store.pop(next(iter(store)))
+        return value
+
+
+def _sql_memos(ctx: InferenceContext, parser: "CodeSParser") -> _SqlMemos:
+    """The per-database SQL memos, resolved through the cache."""
+    return ctx.cache.get(
+        "sql_memos",
+        (id(ctx.database), id(parser.lm)),
+        _SqlMemos,
+    )
+
+
+def _link_assets(ctx: InferenceContext, parser: "CodeSParser") -> _LinkAssets:
+    """The per-database linking assets, resolved through the cache."""
+
+    def build() -> _LinkAssets:
+        extractor = MemoizedSchemaFeatureExtractor(
+            embedder=MemoizedEmbedder(parser.embedder),
+            use_comments=parser.options.include_comments,
+        )
+        classifier = (
+            parser.classifier.with_extractor(extractor)
+            if parser.classifier is not None
+            else None
+        )
+        return _LinkAssets(
+            extractor=extractor,
+            lexical=LexicalSchemaScorer(extractor),
+            classifier=classifier,
+        )
+
+    return ctx.cache.get(
+        "link_assets",
+        (
+            id(ctx.database),
+            id(parser.classifier),
+            id(parser.options),
+            id(parser.embedder),
+        ),
+        build,
+    )
 
 
 class _ParserStage:
@@ -93,11 +192,12 @@ class ValueRetrieveStage(_ParserStage):
         ctx.linking_question = ctx.question
         if ctx.external_knowledge:
             ctx.linking_question = f"{ctx.question} ({ctx.external_knowledge})"
+        assets = _link_assets(ctx, parser)
         ctx.builder = ctx.cache.get(
             "builder",
             (id(ctx.database), id(parser.options)),
             lambda: PromptBuilder(
-                ctx.database, classifier=parser.classifier, options=parser.options
+                ctx.database, classifier=assets.classifier, options=parser.options
             ),
         )
         matched = ctx.cache.get(
@@ -130,13 +230,14 @@ class SchemaLinkStage(_ParserStage):
 
     def _link(self, ctx: InferenceContext):
         parser = self.parser
+        assets = _link_assets(ctx, parser)
         filtered = ctx.builder.filter_schema(ctx.linking_question, ctx.matched)
         effective = apply_schema_ablations(filtered.schema, parser.options)
-        lexical = parser._lexical_scorer.score_schema(
+        lexical = assets.lexical.score_schema(
             ctx.linking_question, effective, ctx.matched
         )
         if parser.classifier is not None and parser.classifier.trained:
-            learned = parser.classifier.score_schema(
+            learned = assets.classifier.score_schema(
                 ctx.linking_question, effective, ctx.matched
             )
             scores = blend_scores(learned, lexical)
@@ -189,6 +290,11 @@ class CandidateGenStage(_ParserStage):
     name = "candidate_gen"
 
     def run(self, ctx: InferenceContext) -> None:
+        if ctx.effort != "full":
+            # Load shedding: the ladder asked for a cheaper tier, so
+            # the beam machinery is skipped entirely and the degrade
+            # stage answers from the skeleton bank (or the sentinel).
+            return
         parser = self.parser
         in_context_mode = ctx.demonstrations is not None
         if in_context_mode:
@@ -235,8 +341,11 @@ class RankStage(_ParserStage):
     name = "rank"
 
     def run(self, ctx: InferenceContext) -> None:
+        if ctx.effort != "full":
+            return
         parser = self.parser
         scores = ctx.scores
+        memos = _sql_memos(ctx, parser)
         candidates: list[tuple[str, float]] = []
         for sql, filled, retrieval_sim, ungrounded in ctx.raw_candidates:
             used = filled.columns_used()
@@ -255,7 +364,7 @@ class RankStage(_ParserStage):
                 2.0 * retrieval_sim
                 + 0.5 * link_quality
                 + 0.4 * table_quality
-                + 0.08 * parser.lm.score(sql)
+                + 0.08 * memos.get("lm", sql, lambda: parser.lm.score(sql))
                 + 0.25 * value_bonus(filled, ctx.matched)
                 - 0.1 * projection_filter_overlap(filled)
                 - 0.5 * count_mismatch(filled, ctx.question)
@@ -287,7 +396,15 @@ class LintGateStage(_ParserStage):
         ctx.lint = {}
         if parser.lint_gate and ctx.beam:
             ctx.analyzer = _analyzer(ctx)
-            ctx.ordered, ctx.lint = lint_gated_order(ctx.beam, ctx.analyzer)
+            memos = _sql_memos(ctx, parser)
+            analyzer = ctx.analyzer
+            ctx.ordered, ctx.lint = lint_gated_order(
+                ctx.beam,
+                analyzer,
+                analyze=lambda sql: memos.get(
+                    "lint", sql, lambda: tuple(analyzer.analyze_sql(sql))
+                ),
+            )
         else:
             ctx.ordered = list(ctx.beam)
         ctx.demoted = {
@@ -315,10 +432,14 @@ class EquivDedupStage(_ParserStage):
                 id(ctx.database),
                 lambda: CostEstimator(ctx.analyzer.catalog),
             )
+            memos = _sql_memos(ctx, parser)
+            estimator = ctx.estimator
             groups: list[list[str]] = []
             group_of: dict[str, int] = {}
             for sql in ctx.ordered:
-                group_key = canonical_key_sql(sql)
+                group_key = memos.get(
+                    "key", sql, lambda: canonical_key_sql(sql)
+                )
                 if group_key in group_of:
                     groups[group_of[group_key]].append(sql)
                 else:
@@ -327,7 +448,13 @@ class EquivDedupStage(_ParserStage):
             ctx.groups = groups
             ctx.beam_deduped = len(ctx.ordered) - len(groups)
             ctx.representatives = [
-                min(group, key=ctx.estimator.estimate_sql) for group in groups
+                min(
+                    group,
+                    key=lambda sql: memos.get(
+                        "cost", sql, lambda: estimator.estimate_sql(sql)
+                    ),
+                )
+                for group in groups
             ]
         else:
             ctx.groups = [[sql] for sql in ctx.ordered]

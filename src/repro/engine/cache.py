@@ -7,6 +7,11 @@ and are expensive to rebuild per question.  The :class:`StageCache`
 gives them an explicit, clearable lifecycle: stages resolve resources
 through :meth:`get`, hit/miss counters feed the per-stage trace, and
 :meth:`clear` drops everything (tests, database swaps, memory bounds).
+
+Long serving runs touch many ``(database, question)`` keys, so the
+cache can be bounded: with a ``capacity`` it evicts in LRU order and
+counts evictions, keeping one engine's working set from growing
+without limit.
 """
 
 from __future__ import annotations
@@ -15,26 +20,40 @@ from typing import Any, Callable, Hashable
 
 
 class StageCache:
-    """Keyed factory cache with hit/miss accounting.
+    """Keyed factory cache with hit/miss accounting and optional LRU bounds.
 
     Keys are ``(kind, *key_parts)`` tuples — e.g. ``("builder", db_key)``
     — so one cache instance can hold every resource kind the stages
     need while :meth:`clear_kind` can still evict selectively.
+
+    ``capacity`` bounds the number of entries; when full, the least
+    recently *used* entry (reads refresh recency) is evicted and the
+    ``evictions`` counter incremented.  ``None`` means unbounded, the
+    pre-serving behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
         self._store: dict[tuple, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, kind: str, key: Hashable, factory: Callable[[], Any]) -> Any:
         """The cached value for ``(kind, key)``, building it on first use."""
         full_key = (kind, key)
         if full_key in self._store:
             self.hits += 1
-            return self._store[full_key]
+            # LRU bookkeeping: re-insertion moves the key to the end.
+            value = self._store[full_key] = self._store.pop(full_key)
+            return value
         self.misses += 1
         value = self._store[full_key] = factory()
+        if self.capacity is not None and len(self._store) > self.capacity:
+            self._store.pop(next(iter(self._store)))
+            self.evictions += 1
         return value
 
     def clear(self) -> None:
@@ -42,6 +61,7 @@ class StageCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def clear_kind(self, kind: str) -> int:
         """Evict all entries of one resource kind; returns how many."""
@@ -57,5 +77,11 @@ class StageCache:
         return full_key in self._store
 
     @property
-    def stats(self) -> dict[str, int]:
-        return {"entries": len(self._store), "hits": self.hits, "misses": self.misses}
+    def stats(self) -> dict[str, int | None]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "capacity": self.capacity,
+        }

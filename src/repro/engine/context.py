@@ -35,6 +35,12 @@ class InferenceContext:
     demonstrations: "list[Text2SQLExample] | None" = None
     external_knowledge: str = ""
     degrade: bool = True
+    #: Effort tier requested by the caller: ``"full"`` runs the whole
+    #: beam pipeline; ``"skeleton"`` skips candidate generation and
+    #: ranking so the degrade stage answers from the skeleton bank —
+    #: the serving layer's load-shedding ladder picks this under
+    #: overload.  Requires ``degrade=True``.
+    effort: str = "full"
 
     # -- engine plumbing (set by Engine.run) ---------------------------------
     cache: "StageCache | None" = field(default=None, repr=False)

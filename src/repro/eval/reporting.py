@@ -63,6 +63,24 @@ def format_stage_report(result: "EvalResult") -> str:
     )
 
 
+def format_serving_report(metrics, title: str = "serving metrics") -> str:
+    """Render a :class:`repro.serving.metrics.ServerMetrics` snapshot.
+
+    Deterministic for deterministic inputs (stable row order, the same
+    ``%.4g`` float formatting as every other table), which is what
+    makes ``repro loadgen --seed`` byte-stable.
+    """
+    lines = [format_table(metrics.as_rows(), title=title)]
+    if metrics.stage_wall_s:
+        stage_rows = [
+            {"stage": stage, "wall s": round(wall_s, 6)}
+            for stage, wall_s in metrics.stage_wall_s.items()
+        ]
+        lines.append("")
+        lines.append(format_table(stage_rows, title="stage wall time (sum)"))
+    return "\n".join(lines)
+
+
 def format_failure_report(result: "EvalResult", max_quarantined: int = 10) -> str:
     """Per-class failure counts plus the quarantine list of a run.
 

@@ -92,6 +92,24 @@ class SchemaItemClassifier:
         self.model = MLPClassifier(FEATURE_DIM, hidden_dim=hidden_dim, seed=seed)
         self.trained = False
 
+    def with_extractor(
+        self, extractor: SchemaFeatureExtractor
+    ) -> "SchemaItemClassifier":
+        """A scoring view of this classifier using another feature extractor.
+
+        The view shares the trained MLP (``model`` is the same object),
+        so serving paths can swap in a memoizing extractor without
+        retraining or copying weights.  ``trained`` is snapshotted at
+        view creation — build views after fitting (the engine's
+        link-assets cache is cleared on ``CodeSParser.fit`` for exactly
+        this reason).
+        """
+        view = SchemaItemClassifier.__new__(SchemaItemClassifier)
+        view.extractor = extractor
+        view.model = self.model
+        view.trained = self.trained
+        return view
+
     # -- training -----------------------------------------------------------
 
     def _build_training_matrix(

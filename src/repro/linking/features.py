@@ -17,7 +17,7 @@ from repro.retrieval.value_retriever import MatchedValue
 from repro.sqlgen.ast import ColumnRef
 from repro.text.embedder import HashedNgramEmbedder
 from repro.text.similarity import jaccard_similarity, token_overlap
-from repro.text.tokenize import sentence_tokens
+from repro.text.tokenize import sentence_tokens, stemmed_tokens
 
 #: Size of the feature vector produced per schema item.
 FEATURE_DIM = 11
@@ -35,19 +35,31 @@ class SchemaFeatureExtractor:
         self.embedder = embedder or HashedNgramEmbedder(dim=128)
         self.use_comments = use_comments
 
+    # Token-level primitives are instance methods so a memoizing
+    # subclass can cache them; the base versions delegate unchanged.
+
+    def _overlap(self, query: str, target: str) -> float:
+        return token_overlap(query, target)
+
+    def _jaccard(self, query: str, target: str) -> float:
+        return jaccard_similarity(query, target)
+
+    def _sentence_token_set(self, text: str) -> frozenset[str]:
+        return frozenset(sentence_tokens(text))
+
     def _name_features(self, question: str, name: str, comment: str) -> list[float]:
         readable = _readable(name)
-        question_tokens = set(sentence_tokens(question))
-        name_tokens = set(sentence_tokens(readable))
+        question_tokens = self._sentence_token_set(question)
+        name_tokens = self._sentence_token_set(readable)
         exact_mention = float(
             bool(name_tokens) and name_tokens <= question_tokens
         )
         comment_text = comment if self.use_comments else ""
         return [
-            token_overlap(question, readable),
-            jaccard_similarity(question, readable),
+            self._overlap(question, readable),
+            self._jaccard(question, readable),
             self.embedder.similarity(question, readable),
-            token_overlap(question, comment_text) if comment_text else 0.0,
+            self._overlap(question, comment_text) if comment_text else 0.0,
             self.embedder.similarity(question, comment_text) if comment_text else 0.0,
             exact_mention,
             lcs_match_degree(question.lower(), readable.lower()),
@@ -58,7 +70,7 @@ class SchemaFeatureExtractor:
         """Feature vector for one table."""
         base = self._name_features(question, table.name, table.comment)
         column_overlaps = [
-            token_overlap(question, _readable(column.name))
+            self._overlap(question, _readable(column.name))
             for column in table.columns
         ]
         best_column = max(column_overlaps) if column_overlaps else 0.0
@@ -79,3 +91,83 @@ class SchemaFeatureExtractor:
             if ColumnRef(match.table, match.column).key() == target:
                 value_hit = max(value_hit, match.degree)
         return np.array([*base, 0.0, value_hit, 1.0], dtype=np.float64)
+
+
+class MemoizedSchemaFeatureExtractor(SchemaFeatureExtractor):
+    """A feature extractor caching tokenizations and name features.
+
+    Schema linking recomputes the same token sets and name-feature rows
+    many times: every scoring pass touches every schema item, the
+    question's tokens enter every pairwise signal, and a schema's item
+    names never change between questions.  Caching (a) token sets per
+    text and (b) whole ``_name_features`` rows per ``(question, name,
+    comment)`` makes the repeats free — and because set intersections
+    over the cached frozensets run the exact computation the module
+    functions run, every feature value is bit-identical to the base
+    extractor's.
+
+    Intended to be scoped per database (the engine's link-assets
+    bundle), so item-side entries stay warm across every question
+    served on that schema.  ``capacity`` bounds each internal map with
+    LRU eviction; ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        embedder: HashedNgramEmbedder | None = None,
+        use_comments: bool = True,
+        capacity: int | None = 8192,
+    ):
+        super().__init__(embedder=embedder, use_comments=use_comments)
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"memo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._stem_sets: dict[str, frozenset[str]] = {}
+        self._sent_sets: dict[str, frozenset[str]] = {}
+        self._rows: dict[tuple[str, str, str], list[float]] = {}
+
+    def _cached(self, store: dict, key, factory):
+        value = store.get(key)
+        if value is not None:
+            # LRU bookkeeping: re-insertion moves the key to the end.
+            store[key] = store.pop(key)
+            return value
+        value = store[key] = factory()
+        if self.capacity is not None and len(store) > self.capacity:
+            store.pop(next(iter(store)))
+        return value
+
+    def _stem_set(self, text: str) -> frozenset[str]:
+        return self._cached(
+            self._stem_sets, text, lambda: frozenset(stemmed_tokens(text))
+        )
+
+    def _sentence_token_set(self, text: str) -> frozenset[str]:
+        return self._cached(
+            self._sent_sets, text, lambda: frozenset(sentence_tokens(text))
+        )
+
+    def _overlap(self, query: str, target: str) -> float:
+        target_set = self._stem_set(target)
+        if not target_set:
+            return 0.0
+        query_set = self._stem_set(query)
+        return len(target_set & query_set) / len(target_set)
+
+    def _jaccard(self, query: str, target: str) -> float:
+        left_set = self._stem_set(query)
+        right_set = self._stem_set(target)
+        if not left_set and not right_set:
+            return 1.0
+        if not left_set or not right_set:
+            return 0.0
+        return len(left_set & right_set) / len(left_set | right_set)
+
+    def _name_features(self, question: str, name: str, comment: str) -> list[float]:
+        return self._cached(
+            self._rows,
+            (question, name, comment),
+            lambda: super(MemoizedSchemaFeatureExtractor, self)._name_features(
+                question, name, comment
+            ),
+        )

@@ -8,9 +8,16 @@ explicit: a registry instance owns its corpora and pre-trained LMs,
 independent registries isolate parallel evaluations from each other.
 The process-wide default registry keeps the old sharing behaviour for
 ordinary use.
+
+A serving process that cycles through many tiers or corpus seeds would
+otherwise grow the registry without limit, so both internal maps can be
+bounded with LRU eviction (``capacity`` counts LMs and corpora
+separately — each map holds at most ``capacity`` entries).
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.config import ModelConfig
 from repro.lm.corpus import CorpusConfig, PretrainCorpus, build_corpus
@@ -18,38 +25,77 @@ from repro.lm.pretrain import IncrementalPretrainer, PretrainedLM, pretrain_base
 
 
 class LMRegistry:
-    """Cache of pre-training artifacts keyed by recipe, with a lifecycle."""
+    """Cache of pre-training artifacts keyed by recipe, with a lifecycle.
 
-    def __init__(self) -> None:
+    ``capacity`` bounds each internal map (LMs and corpora) with LRU
+    eviction — reads refresh recency, and evictions are counted in
+    ``lm_evictions`` / ``corpus_evictions``.  ``None`` means unbounded.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"registry capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
         self._lms: dict[tuple[str, bool, int], PretrainedLM] = {}
         self._corpora: dict[int, PretrainCorpus] = {}
+        self.lm_evictions = 0
+        self.corpus_evictions = 0
+
+    def _touch(self, store: dict, key: Any) -> Any:
+        # LRU bookkeeping: re-insertion moves the key to the end.
+        value = store[key] = store.pop(key)
+        return value
+
+    def _bound(self, store: dict) -> int:
+        evicted = 0
+        if self.capacity is not None:
+            while len(store) > self.capacity:
+                store.pop(next(iter(store)))
+                evicted += 1
+        return evicted
 
     def corpus(self, seed: int = 0) -> PretrainCorpus:
         """The (cached) pre-training corpus for ``seed``."""
-        if seed not in self._corpora:
-            self._corpora[seed] = build_corpus(CorpusConfig(seed=seed))
-        return self._corpora[seed]
+        if seed in self._corpora:
+            return self._touch(self._corpora, seed)
+        corpus = self._corpora[seed] = build_corpus(CorpusConfig(seed=seed))
+        self.corpus_evictions += self._bound(self._corpora)
+        return corpus
 
     def lm_for(self, config: ModelConfig) -> PretrainedLM:
         """The (cached) pre-trained LM for a model tier."""
         key = (config.family, config.incremental, config.ngram_order)
-        if key not in self._lms:
-            corpus = self.corpus()
-            base = pretrain_base_lm(
-                config.family, order=config.ngram_order, corpus=corpus
-            )
-            if config.incremental:
-                base = IncrementalPretrainer(corpus=corpus).run(base)
-            self._lms[key] = base
-        return self._lms[key]
+        if key in self._lms:
+            return self._touch(self._lms, key)
+        corpus = self.corpus()
+        base = pretrain_base_lm(
+            config.family, order=config.ngram_order, corpus=corpus
+        )
+        if config.incremental:
+            base = IncrementalPretrainer(corpus=corpus).run(base)
+        self._lms[key] = base
+        self.lm_evictions += self._bound(self._lms)
+        return base
 
     def clear(self) -> None:
         """Drop every cached corpus and LM (they rebuild on next use)."""
         self._lms.clear()
         self._corpora.clear()
+        self.lm_evictions = 0
+        self.corpus_evictions = 0
 
     def __len__(self) -> int:
         return len(self._lms) + len(self._corpora)
+
+    @property
+    def stats(self) -> dict[str, int | None]:
+        return {
+            "lms": len(self._lms),
+            "corpora": len(self._corpora),
+            "lm_evictions": self.lm_evictions,
+            "corpus_evictions": self.corpus_evictions,
+            "capacity": self.capacity,
+        }
 
 
 #: Process-wide default: parsers share pre-training work unless handed

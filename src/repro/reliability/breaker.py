@@ -9,10 +9,16 @@ success closes the circuit, a probe failure re-opens it.
 
 Time is read through an injectable clock so state transitions are
 deterministic in tests.
+
+State transitions are lock-protected: the serving layer's worker
+threads share one breaker per database, and the half-open contract —
+at most ``half_open_max_probes`` concurrent probes — only holds if the
+recover/admit sequence is atomic.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, TypeVar
 
 from repro.errors import CircuitOpenError
@@ -47,6 +53,7 @@ class CircuitBreaker:
         self.half_open_max_probes = half_open_max_probes
         self.name = name
         self._clock = clock if clock is not None else SYSTEM_CLOCK
+        self._lock = threading.RLock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -58,8 +65,9 @@ class CircuitBreaker:
 
     @property
     def state(self) -> str:
-        self._maybe_recover()
-        return self._state
+        with self._lock:
+            self._maybe_recover()
+            return self._state
 
     def _maybe_recover(self) -> None:
         if (
@@ -71,43 +79,53 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """Would a call be admitted right now?  (Does not consume a probe.)"""
-        state = self.state
-        if state == CLOSED:
-            return True
-        if state == HALF_OPEN:
-            return self._half_open_probes < self.half_open_max_probes
-        return False
+        with self._lock:
+            self._maybe_recover()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                return self._half_open_probes < self.half_open_max_probes
+            return False
 
     def admit(self) -> bool:
         """Admit or reject a call, consuming a half-open probe slot.
 
         Callers that use ``admit`` must report the call's outcome via
-        :meth:`record_success` / :meth:`record_failure`.
+        :meth:`record_success` / :meth:`record_failure`.  The
+        recover-then-consume sequence runs under the breaker lock, so
+        racing threads at a half-open circuit win exactly
+        ``half_open_max_probes`` slots between them.
         """
-        state = self.state
-        if state == CLOSED:
-            return True
-        if state == HALF_OPEN and self._half_open_probes < self.half_open_max_probes:
-            self._half_open_probes += 1
-            return True
-        self.total_rejections += 1
-        return False
+        with self._lock:
+            self._maybe_recover()
+            if self._state == CLOSED:
+                return True
+            if (
+                self._state == HALF_OPEN
+                and self._half_open_probes < self.half_open_max_probes
+            ):
+                self._half_open_probes += 1
+                return True
+            self.total_rejections += 1
+            return False
 
     # -- outcome recording ---------------------------------------------------
 
     def record_success(self) -> None:
-        if self._state == HALF_OPEN:
-            self._state = CLOSED
-        self._consecutive_failures = 0
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+            self._consecutive_failures = 0
 
     def record_failure(self) -> None:
-        self.total_failures += 1
-        if self._state == HALF_OPEN:
-            self._trip()
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.failure_threshold:
-            self._trip()
+        with self._lock:
+            self.total_failures += 1
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
 
     def _trip(self) -> None:
         self._state = OPEN

@@ -1,0 +1,70 @@
+"""Concurrent serving layer over the staged inference engine (PR 5).
+
+Admission control (bounded queue, per-tenant token buckets), a
+per-database micro-batching scheduler with a watermark degradation
+ladder, typed shed/completion outcomes, deterministic load generation,
+and a thread worker pool.  Everything timing-related reads an
+injectable Clock, so the whole layer runs — and is tested — on a
+FakeClock with zero wall-clock sleeps.
+"""
+
+from repro.serving.loadgen import (
+    Arrival,
+    LoadgenResult,
+    ServiceModel,
+    poisson_workload,
+    replay,
+    run_loadgen,
+)
+from repro.serving.metrics import MetricsAggregator, ServerMetrics, nearest_rank
+from repro.serving.outcomes import (
+    BreakerShed,
+    Completed,
+    DeadlineShed,
+    Failed,
+    Overloaded,
+    RateLimited,
+    ServeRequest,
+    Shed,
+)
+from repro.serving.queue import AdmissionQueue
+from repro.serving.ratelimit import TokenBucket
+from repro.serving.scheduler import (
+    TIERS,
+    Batch,
+    DegradationLadder,
+    MicroBatchScheduler,
+    QueuedRequest,
+)
+from repro.serving.server import Server, ServerConfig
+from repro.serving.worker import WorkerPool
+
+__all__ = [
+    "AdmissionQueue",
+    "Arrival",
+    "Batch",
+    "BreakerShed",
+    "Completed",
+    "DeadlineShed",
+    "DegradationLadder",
+    "Failed",
+    "LoadgenResult",
+    "MetricsAggregator",
+    "MicroBatchScheduler",
+    "Overloaded",
+    "QueuedRequest",
+    "RateLimited",
+    "ServeRequest",
+    "Server",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServiceModel",
+    "Shed",
+    "TIERS",
+    "TokenBucket",
+    "WorkerPool",
+    "nearest_rank",
+    "poisson_workload",
+    "replay",
+    "run_loadgen",
+]

@@ -1,0 +1,164 @@
+"""Server metrics: lock-protected counters, immutable snapshots.
+
+The aggregator ingests typed outcomes as workers produce them; a
+:class:`ServerMetrics` snapshot is a frozen copy a reader can hold
+while the server keeps running.  Latency percentiles use the
+nearest-rank method over completed requests' end-to-end latencies
+(queue wait + service, as measured on the server's clock), and the
+per-stage wall-time breakdown aggregates each request's
+``TraceRecorder`` output — the same numbers ``repro trace`` prints for
+a single request, summed across the fleet.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+from repro.serving.outcomes import Completed, Failed, Shed
+
+
+def nearest_rank(values: list[float], percentile: float) -> float:
+    """Nearest-rank percentile of ``values``; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    if not 0 < percentile <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(percentile / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class ServerMetrics:
+    """One immutable snapshot of the server's counters and gauges."""
+
+    queue_depth: int
+    admitted: int
+    completed: int
+    failed: int
+    shed: dict[str, int]
+    tiers: dict[str, int]
+    p50_latency_s: float
+    p95_latency_s: float
+    mean_queue_s: float
+    batches: int
+    mean_batch_occupancy: float
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    stage_wall_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Key/value rows for :func:`repro.eval.reporting.format_table`."""
+        rows: list[dict[str, object]] = [
+            {"metric": "queue depth", "value": self.queue_depth},
+            {"metric": "admitted", "value": self.admitted},
+            {"metric": "completed", "value": self.completed},
+            {"metric": "failed", "value": self.failed},
+            {"metric": "shed total", "value": self.shed_total},
+        ]
+        for reason in sorted(self.shed):
+            rows.append({"metric": f"shed {reason}", "value": self.shed[reason]})
+        for tier in sorted(self.tiers):
+            rows.append({"metric": f"tier {tier}", "value": self.tiers[tier]})
+        rows.extend(
+            [
+                {"metric": "p50 latency s", "value": round(self.p50_latency_s, 6)},
+                {"metric": "p95 latency s", "value": round(self.p95_latency_s, 6)},
+                {"metric": "mean queue s", "value": round(self.mean_queue_s, 6)},
+                {"metric": "batches", "value": self.batches},
+                {
+                    "metric": "mean batch occupancy",
+                    "value": round(self.mean_batch_occupancy, 4),
+                },
+                {"metric": "cache hits", "value": self.cache_hits},
+                {"metric": "cache misses", "value": self.cache_misses},
+                {"metric": "cache evictions", "value": self.cache_evictions},
+            ]
+        )
+        return rows
+
+
+class MetricsAggregator:
+    """Thread-safe accumulator the server and its workers write into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._failed = 0
+        self._shed: dict[str, int] = {}
+        self._tiers: dict[str, int] = {}
+        self._latencies: list[float] = []
+        self._queue_waits: list[float] = []
+        self._batches = 0
+        self._batched_items = 0
+        self._stage_wall_s: dict[str, float] = {}
+
+    def record_admitted(self) -> None:
+        with self._lock:
+            self._admitted += 1
+
+    def record(self, outcome) -> None:
+        """Ingest one terminal outcome."""
+        with self._lock:
+            if isinstance(outcome, Completed):
+                self._tiers[outcome.tier] = self._tiers.get(outcome.tier, 0) + 1
+                self._latencies.append(outcome.latency_s)
+                self._queue_waits.append(outcome.queue_s)
+                if outcome.trace is not None:
+                    for stage in outcome.trace.stages:
+                        self._stage_wall_s[stage.stage] = (
+                            self._stage_wall_s.get(stage.stage, 0.0)
+                            + stage.wall_s
+                        )
+            elif isinstance(outcome, Shed):
+                self._shed[outcome.status] = self._shed.get(outcome.status, 0) + 1
+            elif isinstance(outcome, Failed):
+                self._failed += 1
+            else:
+                raise TypeError(f"unknown outcome type {type(outcome).__name__}")
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_items += size
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        cache_stats: "list[dict] | None" = None,
+    ) -> ServerMetrics:
+        """A frozen snapshot; ``cache_stats`` are per-engine ``StageCache.stats``."""
+        caches = cache_stats or []
+        with self._lock:
+            return ServerMetrics(
+                queue_depth=queue_depth,
+                admitted=self._admitted,
+                completed=len(self._latencies),
+                failed=self._failed,
+                shed=dict(self._shed),
+                tiers=dict(self._tiers),
+                p50_latency_s=nearest_rank(self._latencies, 50),
+                p95_latency_s=nearest_rank(self._latencies, 95),
+                mean_queue_s=(
+                    sum(self._queue_waits) / len(self._queue_waits)
+                    if self._queue_waits
+                    else 0.0
+                ),
+                batches=self._batches,
+                mean_batch_occupancy=(
+                    self._batched_items / self._batches if self._batches else 0.0
+                ),
+                cache_hits=sum(int(stats["hits"]) for stats in caches),
+                cache_misses=sum(int(stats["misses"]) for stats in caches),
+                cache_evictions=sum(
+                    int(stats.get("evictions", 0)) for stats in caches
+                ),
+                stage_wall_s=dict(self._stage_wall_s),
+            )

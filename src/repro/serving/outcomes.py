@@ -1,0 +1,99 @@
+"""Typed request and outcome records for the serving layer.
+
+Every request submitted to the :class:`~repro.serving.server.Server`
+resolves to exactly one outcome object.  Outcomes are frozen
+dataclasses with a class-level ``status`` tag, so callers can switch on
+``outcome.status`` (stable strings, what ``repro serve`` prints) or on
+the type itself.  Shed outcomes subclass :class:`Shed`, which makes
+"was this request shed?" a single ``isinstance`` check while the
+concrete subclass — :class:`Overloaded`, :class:`RateLimited`,
+:class:`DeadlineShed`, :class:`BreakerShed` — says *why*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.trace import InferenceTrace
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One question bound for one database, as submitted by a tenant.
+
+    ``deadline_s`` is a *relative* budget: the server converts it into
+    an absolute :class:`~repro.reliability.deadline.Deadline` on its
+    clock at admission time, so the time spent queued counts against
+    it.
+    """
+
+    request_id: str
+    question: str
+    db_id: str
+    tenant: str = "default"
+    deadline_s: float | None = None
+
+
+@dataclass(frozen=True)
+class Completed:
+    """The request was served; ``tier`` reports which ladder rung answered."""
+
+    status: ClassVar[str] = "completed"
+
+    request: ServeRequest
+    sql: str
+    tier: str
+    latency_s: float
+    queue_s: float
+    trace: "InferenceTrace | None" = field(default=None, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class Shed:
+    """Base for every load-shedding outcome: the request was NOT executed."""
+
+    status: ClassVar[str] = "shed"
+
+    request: ServeRequest
+    reason: str
+
+
+@dataclass(frozen=True)
+class Overloaded(Shed):
+    """Rejected at admission: the bounded queue was full."""
+
+    status: ClassVar[str] = "overloaded"
+
+
+@dataclass(frozen=True)
+class RateLimited(Shed):
+    """Rejected at admission: the tenant's token bucket was empty."""
+
+    status: ClassVar[str] = "rate_limited"
+
+
+@dataclass(frozen=True)
+class DeadlineShed(Shed):
+    """Dropped at batch formation: the deadline expired while queued."""
+
+    status: ClassVar[str] = "deadline_shed"
+
+
+@dataclass(frozen=True)
+class BreakerShed(Shed):
+    """Short-circuited: the database's circuit breaker is open."""
+
+    status: ClassVar[str] = "breaker_shed"
+
+
+@dataclass(frozen=True)
+class Failed:
+    """The request executed but generation raised a classified error."""
+
+    status: ClassVar[str] = "failed"
+
+    request: ServeRequest
+    error: str
+    latency_s: float

@@ -1,0 +1,87 @@
+"""The bounded admission queue feeding the micro-batch scheduler.
+
+Admission control starts here: :meth:`AdmissionQueue.offer` never
+blocks and returns ``False`` when the queue is at capacity, which the
+server converts into a typed ``Overloaded`` outcome.  The scheduler
+consumes through :meth:`pop_group`, which atomically pops the oldest
+item plus up to ``max_size - 1`` younger items sharing its key — the
+per-database micro-batch.  Popping the oldest first guarantees
+progress (no key can starve) and keeps arrival order within a batch.
+
+All waiting uses ``Condition.wait`` with a timeout; there are no raw
+sleeps, so worker threads shut down promptly and FakeClock tests never
+block on wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable
+
+
+class AdmissionQueue:
+    """Bounded FIFO with keyed group pops, safe for concurrent use."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue without blocking; ``False`` means the queue is full."""
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def pop_group(
+        self, max_size: int, key_fn: Callable[[Any], Any]
+    ) -> list[Any]:
+        """Pop the oldest item plus younger items sharing its key.
+
+        Returns at most ``max_size`` items in arrival order, or ``[]``
+        when the queue is empty.  Atomicity matters: two workers
+        popping concurrently must not split one database's batch.
+        """
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        with self._lock:
+            if not self._items:
+                return []
+            head = self._items.popleft()
+            group = [head]
+            key = key_fn(head)
+            kept: deque = deque()
+            while self._items and len(group) < max_size:
+                item = self._items.popleft()
+                if key_fn(item) == key:
+                    group.append(item)
+                else:
+                    kept.append(item)
+            kept.extend(self._items)
+            self._items = kept
+            return group
+
+    def wait_nonempty(self, timeout: float) -> bool:
+        """Block up to ``timeout`` (real) seconds for an item to arrive.
+
+        Returns whether the queue is non-empty.  Used only by worker
+        threads idling between batches; deterministic tests drive the
+        server synchronously and never call this.
+        """
+        with self._lock:
+            if self._items:
+                return True
+            self._not_empty.wait(timeout)
+            return bool(self._items)

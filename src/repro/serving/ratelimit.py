@@ -1,0 +1,57 @@
+"""Per-tenant token-bucket rate limiting.
+
+A classic token bucket on the injectable Clock: tokens refill
+continuously at ``rate`` per second up to ``burst``, and each admitted
+request takes one.  Refill is computed lazily from elapsed clock time
+at each ``try_take``, so the bucket needs no timer thread and is exact
+under a :class:`~repro.reliability.clock.FakeClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.reliability.clock import Clock, SYSTEM_CLOCK
+
+
+class TokenBucket:
+    """Thread-safe token bucket over an injectable clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Clock | None = None,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
+        self._tokens = self.burst
+        self._refilled_at = self._clock.now()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; False means rate-limited."""
+        with self._lock:
+            self._refill(self._clock.now())
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Current token count (after lazy refill)."""
+        with self._lock:
+            self._refill(self._clock.now())
+            return self._tokens

@@ -1,0 +1,116 @@
+"""Micro-batch formation and the watermark degradation ladder.
+
+The scheduler turns the admission queue into per-database batches:
+each batch holds requests for one database so the executor can route
+them all through one warm ``Engine`` + ``StageCache`` (the whole point
+of micro-batching here — per-database resources and memos are the
+dominant reusable state).
+
+The :class:`DegradationLadder` converts queue depth into an effort
+tier at batch-formation time: below ``skeleton_watermark`` requests
+run the full beam pipeline, between the watermarks they skip the beam
+and answer from the skeleton bank, and past ``sentinel_watermark``
+they are answered with the safe sentinel without touching the engine
+at all.  Depth is sampled once per batch so every request in a batch
+shares one tier — the deterministic property the FakeClock tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.serving.queue import AdmissionQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.deadline import Deadline
+    from repro.serving.outcomes import ServeRequest
+
+#: Effort tiers in decreasing cost; mirrors the engine's degradation
+#: ladder (beam → skeleton → sentinel).
+TIERS = ("full", "skeleton", "sentinel")
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """A request plus its admission-time bookkeeping."""
+
+    request: "ServeRequest"
+    enqueued_at: float
+    deadline: "Deadline | None" = None
+
+
+@dataclass(frozen=True)
+class DegradationLadder:
+    """Maps queue depth to the effort tier new batches run at."""
+
+    skeleton_watermark: int
+    sentinel_watermark: int
+
+    def __post_init__(self) -> None:
+        if self.skeleton_watermark < 1:
+            raise ValueError(
+                f"skeleton_watermark must be >= 1, got {self.skeleton_watermark}"
+            )
+        if self.sentinel_watermark < self.skeleton_watermark:
+            raise ValueError(
+                "sentinel_watermark must be >= skeleton_watermark, got "
+                f"{self.sentinel_watermark} < {self.skeleton_watermark}"
+            )
+
+    def tier_for(self, depth: int) -> str:
+        """The effort tier for a batch formed at queue depth ``depth``."""
+        if depth >= self.sentinel_watermark:
+            return "sentinel"
+        if depth >= self.skeleton_watermark:
+            return "skeleton"
+        return "full"
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One per-database unit of work, tagged with its formation state."""
+
+    db_id: str
+    items: tuple[QueuedRequest, ...]
+    depth_at_formation: int
+    tier: str
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class MicroBatchScheduler:
+    """Forms per-database batches from the admission queue."""
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        ladder: DegradationLadder,
+        batch_size: int,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.queue = queue
+        self.ladder = ladder
+        self.batch_size = batch_size
+
+    def next_batch(self) -> Batch | None:
+        """The next per-database batch, or ``None`` when the queue is empty.
+
+        Queue depth is sampled *before* the pop: the ladder should see
+        the pressure that existed when these requests were selected,
+        not the relief caused by selecting them.
+        """
+        depth = self.queue.depth
+        items = self.queue.pop_group(
+            self.batch_size, key_fn=lambda item: item.request.db_id
+        )
+        if not items:
+            return None
+        return Batch(
+            db_id=items[0].request.db_id,
+            items=tuple(items),
+            depth_at_formation=depth,
+            tier=self.ladder.tier_for(depth),
+        )

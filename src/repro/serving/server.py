@@ -1,0 +1,337 @@
+"""The serving front-end over the staged inference engine.
+
+One :class:`Server` owns the admission path (per-tenant token buckets,
+the bounded queue), the micro-batch scheduler with its watermark
+degradation ladder, per-database execution state (one warm ``Engine``
++ bounded ``StageCache`` and one ``CircuitBreaker`` per database), and
+the metrics aggregator.  It is deliberately synchronous at its core:
+:meth:`submit` admits or sheds, :meth:`step` executes one batch, and
+:meth:`drain` loops ``step`` until empty — the worker pool
+(:mod:`repro.serving.worker`) merely calls ``step`` from threads.
+Every timing decision reads the injectable Clock, so the whole server
+runs deterministically on a FakeClock.
+
+Overload behaviour, composed from the reliability layer:
+
+- queue full → typed ``Overloaded`` outcome at submit;
+- token bucket empty → ``RateLimited`` at submit;
+- deadline expired while queued → ``DeadlineShed`` at batch formation,
+  without executing;
+- breaker open for the database → ``BreakerShed`` without executing;
+- queue depth past the watermarks → batches run at ``skeleton`` or
+  ``sentinel`` effort (the PR-1 degradation tiers) instead of the full
+  beam pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.ranking import SENTINEL_SQL
+from repro.engine import StageCache
+from repro.errors import DeadlineExceededError, ReproError
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.clock import Clock, SYSTEM_CLOCK
+from repro.reliability.deadline import Deadline, ExecutionGuard
+from repro.serving.metrics import MetricsAggregator, ServerMetrics
+from repro.serving.outcomes import (
+    BreakerShed,
+    Completed,
+    DeadlineShed,
+    Failed,
+    Overloaded,
+    RateLimited,
+    ServeRequest,
+)
+from repro.serving.queue import AdmissionQueue
+from repro.serving.ratelimit import TokenBucket
+from repro.serving.scheduler import (
+    Batch,
+    DegradationLadder,
+    MicroBatchScheduler,
+    QueuedRequest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for one server instance."""
+
+    queue_capacity: int = 64
+    batch_size: int = 4
+    skeleton_watermark: int = 8
+    sentinel_watermark: int = 24
+    #: Tokens per second per tenant; ``None`` disables rate limiting.
+    rate_per_tenant: float | None = None
+    burst_per_tenant: float = 16.0
+    #: Applied when a request carries no deadline; ``None`` = unbounded.
+    default_deadline_s: float | None = None
+    breaker_failure_threshold: int = 3
+    breaker_recovery_s: float = 5.0
+    #: LRU bound for each per-database engine's StageCache.
+    cache_capacity: int | None = 256
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+class Server:
+    """Admission control + micro-batched execution over one parser.
+
+    ``databases`` maps ``db_id`` to the Database each request names.
+    ``service_model`` (optional, duck-typed ``cost(tier) -> float``)
+    charges simulated service time on the clock before each execution —
+    the loadgen uses it to make queueing dynamics reproducible on a
+    FakeClock without real inference cost.
+    """
+
+    def __init__(
+        self,
+        parser,
+        databases: "Mapping[str, Database]",
+        config: ServerConfig | None = None,
+        clock: Clock | None = None,
+        service_model=None,
+    ):
+        self.parser = parser
+        self.databases = dict(databases)
+        self.config = config or ServerConfig()
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.service_model = service_model
+        self.queue = AdmissionQueue(self.config.queue_capacity)
+        self.scheduler = MicroBatchScheduler(
+            self.queue,
+            DegradationLadder(
+                skeleton_watermark=self.config.skeleton_watermark,
+                sentinel_watermark=self.config.sentinel_watermark,
+            ),
+            batch_size=self.config.batch_size,
+        )
+        self.metrics_aggregator = MetricsAggregator()
+        self._engines: dict[str, object] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._db_locks: dict[str, threading.Lock] = {}
+        #: guards the resource dicts above (creation races between workers)
+        self._resources_lock = threading.Lock()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, request: ServeRequest):
+        """Admit ``request`` or shed it immediately.
+
+        Returns ``None`` when the request was enqueued (its outcome
+        arrives from a later :meth:`step`), or the typed shed/failure
+        outcome when it never entered the queue.
+        """
+        if request.db_id not in self.databases:
+            outcome = Failed(
+                request=request,
+                error=f"unknown database {request.db_id!r}",
+                latency_s=0.0,
+            )
+            self.metrics_aggregator.record(outcome)
+            return outcome
+        if self.config.rate_per_tenant is not None:
+            bucket = self._bucket_for(request.tenant)
+            if not bucket.try_take():
+                outcome = RateLimited(
+                    request=request,
+                    reason=f"tenant {request.tenant!r} exceeded "
+                    f"{self.config.rate_per_tenant}/s",
+                )
+                self.metrics_aggregator.record(outcome)
+                return outcome
+        budget = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        deadline = (
+            Deadline.after(budget, clock=self.clock) if budget is not None else None
+        )
+        item = QueuedRequest(
+            request=request, enqueued_at=self.clock.now(), deadline=deadline
+        )
+        if not self.queue.offer(item):
+            outcome = Overloaded(
+                request=request,
+                reason=f"admission queue full ({self.config.queue_capacity})",
+            )
+            self.metrics_aggregator.record(outcome)
+            return outcome
+        self.metrics_aggregator.record_admitted()
+        return None
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> list:
+        """Execute one micro-batch; ``[]`` when the queue is empty."""
+        batch = self.scheduler.next_batch()
+        if batch is None:
+            return []
+        return self._execute_batch(batch)
+
+    def drain(self) -> list:
+        """Synchronously execute batches until the queue is empty."""
+        outcomes: list = []
+        while True:
+            batch_outcomes = self.step()
+            if not batch_outcomes and self.queue.depth == 0:
+                return outcomes
+            outcomes.extend(batch_outcomes)
+
+    def _execute_batch(self, batch: Batch) -> list:
+        self.metrics_aggregator.record_batch(len(batch))
+        lock = self._db_lock_for(batch.db_id)
+        outcomes = []
+        # One database's batches run serialized: the warm engine and its
+        # StageCache are not safe for concurrent stages; different
+        # databases proceed in parallel on other workers.
+        with lock:
+            engine = self._engine_for(batch.db_id)
+            breaker = self._breaker_for(batch.db_id)
+            for item in batch.items:
+                outcome = self._execute_one(item, batch.tier, engine, breaker)
+                self.metrics_aggregator.record(outcome)
+                outcomes.append(outcome)
+        return outcomes
+
+    def _execute_one(self, item: QueuedRequest, tier: str, engine, breaker):
+        request = item.request
+        queue_s = self.clock.now() - item.enqueued_at
+        if item.deadline is not None and item.deadline.expired():
+            return DeadlineShed(
+                request=request,
+                reason=f"deadline expired after {queue_s:.3f}s in queue",
+            )
+        if tier == "sentinel":
+            # Cheapest rung: answer without touching the engine, the
+            # database, or the breaker.
+            if self.service_model is not None:
+                self.clock.sleep(self.service_model.cost("sentinel"))
+            return Completed(
+                request=request,
+                sql=SENTINEL_SQL,
+                tier="sentinel",
+                latency_s=self.clock.now() - item.enqueued_at,
+                queue_s=queue_s,
+                trace=None,
+            )
+        if not breaker.admit():
+            return BreakerShed(
+                request=request,
+                reason=f"circuit open for database {request.db_id!r}",
+            )
+        database = self.databases[request.db_id]
+        if self.service_model is not None:
+            self.clock.sleep(self.service_model.cost(tier))
+        if item.deadline is not None and item.deadline.expired():
+            # The service charge consumed the budget before execution
+            # started — shed, and release the breaker probe cleanly.
+            breaker.record_success()
+            return DeadlineShed(
+                request=request,
+                reason="deadline expired before execution started",
+            )
+        guard = (
+            ExecutionGuard(database, item.deadline)
+            if item.deadline is not None
+            else nullcontext()
+        )
+        try:
+            with guard:
+                result = self.parser.generate(
+                    request.question, database, engine=engine, effort=tier
+                )
+        except DeadlineExceededError as exc:
+            # Took too long *while executing*: counts against the
+            # database's health, unlike queue-time expiry above.
+            breaker.record_failure()
+            return Failed(
+                request=request,
+                error=f"{type(exc).__name__}: {exc}",
+                latency_s=self.clock.now() - item.enqueued_at,
+            )
+        except ReproError as exc:
+            breaker.record_failure()
+            return Failed(
+                request=request,
+                error=f"{type(exc).__name__}: {exc}",
+                latency_s=self.clock.now() - item.enqueued_at,
+            )
+        breaker.record_success()
+        return Completed(
+            request=request,
+            sql=result.sql,
+            tier=result.tier,
+            latency_s=self.clock.now() - item.enqueued_at,
+            queue_s=queue_s,
+            trace=getattr(result, "trace", None),
+        )
+
+    # -- per-resource state --------------------------------------------------
+
+    def _engine_for(self, db_id: str):
+        with self._resources_lock:
+            engine = self._engines.get(db_id)
+            if engine is None and hasattr(self.parser, "build_engine"):
+                engine = self._engines[db_id] = self.parser.build_engine(
+                    cache=StageCache(capacity=self.config.cache_capacity)
+                )
+            return engine
+
+    def _breaker_for(self, db_id: str) -> CircuitBreaker:
+        with self._resources_lock:
+            breaker = self._breakers.get(db_id)
+            if breaker is None:
+                breaker = self._breakers[db_id] = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    recovery_timeout_s=self.config.breaker_recovery_s,
+                    clock=self.clock,
+                    name=db_id,
+                )
+            return breaker
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        with self._resources_lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    rate=self.config.rate_per_tenant,
+                    burst=self.config.burst_per_tenant,
+                    clock=self.clock,
+                )
+            return bucket
+
+    def _db_lock_for(self, db_id: str) -> threading.Lock:
+        with self._resources_lock:
+            lock = self._db_locks.get(db_id)
+            if lock is None:
+                lock = self._db_locks[db_id] = threading.Lock()
+            return lock
+
+    # -- observability -------------------------------------------------------
+
+    def metrics(self) -> ServerMetrics:
+        """A frozen snapshot of counters, latencies, and cache traffic."""
+        with self._resources_lock:
+            cache_stats = [
+                engine.cache.stats
+                for engine in self._engines.values()
+                if getattr(engine, "cache", None) is not None
+            ]
+        return self.metrics_aggregator.snapshot(
+            queue_depth=self.queue.depth, cache_stats=cache_stats
+        )

@@ -1,0 +1,91 @@
+"""A small worker pool draining the server from background threads.
+
+Threads live only here (and in ``reliability/``) per ARCH005; the
+server itself is synchronous and deterministic, so the pool is a thin
+shell: each worker loops ``server.step()``, parking on the admission
+queue's condition variable (bounded waits, no raw sleeps) whenever the
+queue is empty.  Unexpected exceptions from a step are classified into
+the pool's failure log instead of silently killing the thread.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: How long an idle worker parks on the queue's condition variable
+#: before re-checking the stop flag (real seconds; bounds shutdown
+#: latency, not throughput — arrivals notify the condition).
+IDLE_WAIT_S = 0.05
+
+
+class WorkerPool:
+    """Threads repeatedly calling ``server.step()`` until stopped."""
+
+    def __init__(self, server, workers: int = 2):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.server = server
+        self.workers = workers
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._outcomes: list = []
+        #: classified unexpected errors, one dict per incident
+        self.failures: list[dict[str, str]] = []
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, name=f"serving-worker-{index}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                outcomes = self.server.step()
+            except Exception as exc:
+                # Classify instead of letting the thread die silently;
+                # the server already converts expected errors into
+                # typed outcomes, so anything here is a genuine bug.
+                self.failures.append(
+                    {"error": f"{type(exc).__name__}: {exc}"}
+                )
+                continue
+            if outcomes:
+                with self._lock:
+                    self._outcomes.extend(outcomes)
+            else:
+                self.server.queue.wait_nonempty(IDLE_WAIT_S)
+
+    def stop(self) -> None:
+        """Signal workers to exit and join them."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    def wait_for(self, count: int, timeout_s: float = 30.0) -> bool:
+        """Block until ``count`` outcomes are collected (bounded waits).
+
+        Returns whether the count was reached before roughly
+        ``timeout_s`` of idle parking elapsed.
+        """
+        waited = 0.0
+        while True:
+            with self._lock:
+                if len(self._outcomes) >= count:
+                    return True
+            if waited >= timeout_s or self._stop.is_set():
+                return False
+            self._stop.wait(IDLE_WAIT_S)
+            waited += IDLE_WAIT_S
+
+    def results(self) -> list:
+        """Outcomes collected so far (snapshot copy)."""
+        with self._lock:
+            return list(self._outcomes)

@@ -89,3 +89,70 @@ class HashedNgramEmbedder:
     def similarity(self, left: str, right: str) -> float:
         """Cosine similarity between two texts under this embedder."""
         return float(np.dot(self.embed(left), self.embed(right)))
+
+
+class MemoizedEmbedder:
+    """An embedder wrapper memoizing ``embed`` by exact text, with LRU bounds.
+
+    Schema linking embeds the same handful of texts over and over: the
+    question once per schema item per scoring pass, and every schema
+    item's name/comment once per question.  Memoizing by exact text
+    makes the repeats free while producing bit-identical vectors, so
+    rankings (and the golden parity suite) are unaffected.  Cached
+    vectors are returned read-only because every caller treats them as
+    values.
+
+    The memo is meant to be *scoped*: the engine resolves one instance
+    per database through its :class:`~repro.engine.cache.StageCache`,
+    so schema-item embeddings are shared across every question served
+    on that database and evicted with the engine's cache.  ``capacity``
+    bounds the memo with LRU eviction (questions churn, item texts
+    stay hot); ``None`` means unbounded.
+    """
+
+    def __init__(self, base: HashedNgramEmbedder, capacity: int | None = 4096):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"memo capacity must be >= 1, got {capacity}")
+        self.base = base
+        self.capacity = capacity
+        self._memo: dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def dim(self) -> int:
+        return self.base.dim
+
+    def embed(self, text: str) -> np.ndarray:
+        cached = self._memo.get(text)
+        if cached is not None:
+            self.hits += 1
+            # LRU bookkeeping: re-insertion moves the key to the end.
+            self._memo[text] = self._memo.pop(text)
+            return cached
+        self.misses += 1
+        vec = self.base.embed(text)
+        vec.flags.writeable = False
+        self._memo[text] = vec
+        if self.capacity is not None and len(self._memo) > self.capacity:
+            self._memo.pop(next(iter(self._memo)))
+            self.evictions += 1
+        return vec
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(text) for text in texts])
+
+    def similarity(self, left: str, right: str) -> float:
+        return float(np.dot(self.embed(left), self.embed(right)))
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._memo),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

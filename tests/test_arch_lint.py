@@ -20,6 +20,7 @@ def _rules(
     identifier_exempt: bool = False,
     engine_exempt: bool = False,
     pipeline_exempt: bool = False,
+    concurrency_exempt: bool = False,
 ) -> list[str]:
     return [
         v.rule
@@ -30,6 +31,7 @@ def _rules(
             identifier_exempt=identifier_exempt,
             engine_exempt=engine_exempt,
             pipeline_exempt=pipeline_exempt,
+            concurrency_exempt=concurrency_exempt,
         )
     ]
 
@@ -171,6 +173,32 @@ class TestEngineEncapsulationRule:
             "from repro.core.ranking import lint_gated_order\n"
         )
         assert _rules(source, pipeline_exempt=True) == []
+
+
+class TestConcurrencyRule:
+    def test_threading_import_flagged(self):
+        assert _rules("import threading\n") == ["ARCH005"]
+
+    def test_from_threading_import_flagged(self):
+        assert _rules("from threading import Lock\n") == ["ARCH005"]
+
+    def test_queue_and_multiprocessing_flagged(self):
+        assert _rules("import queue\n") == ["ARCH005"]
+        assert _rules("import multiprocessing\n") == ["ARCH005"]
+        assert _rules("from concurrent.futures import ThreadPoolExecutor\n") == [
+            "ARCH005"
+        ]
+
+    def test_one_violation_per_import_statement(self):
+        assert _rules("import threading, queue\n") == ["ARCH005"]
+
+    def test_prefix_match_does_not_catch_lookalikes(self):
+        # "queueing" is not the stdlib queue module.
+        assert _rules("import queueing\nimport threadless\n") == []
+
+    def test_serving_and_reliability_exempt(self):
+        source = "import threading\nfrom queue import Queue\n"
+        assert _rules(source, concurrency_exempt=True) == []
 
 
 class TestRepoGate:

@@ -56,3 +56,35 @@ class TestCLI:
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             build_arg_parser().parse_args(["eval", "--model", "gpt-9"])
+
+    def test_serve_jsonl_roundtrip(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"question": "How many clients are there?", "id": "a"})
+            + "\n"
+            + json.dumps({"question": "List all districts", "id": "b"})
+            + "\n"
+        )
+        assert main([
+            "serve", "--dataset", "bank_financials", "--model", "codes-1b",
+            "--input", str(requests),
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert [first["id"], second["id"]] == ["a", "b"]  # input order
+        assert first["status"] == "completed"
+        assert "SELECT" in first["sql"]
+
+    def test_loadgen_seed_is_byte_stable(self, capsys):
+        argv = [
+            "loadgen", "--dataset", "bank_financials", "--model", "codes-1b",
+            "--seed", "7", "--n", "24", "--rate", "40",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "throughput rps" in first
+        assert "shed total" in first

@@ -177,7 +177,13 @@ def test_stage_cache_counts_hits_and_misses():
     cache = StageCache()
     assert cache.get("kind", 1, lambda: "built") == "built"
     assert cache.get("kind", 1, lambda: "rebuilt") == "built"
-    assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+    assert cache.stats == {
+        "hits": 1,
+        "misses": 1,
+        "entries": 1,
+        "evictions": 0,
+        "capacity": None,
+    }
     cache.clear_kind("kind")
     assert cache.get("kind", 1, lambda: "rebuilt") == "rebuilt"
     cache.clear()

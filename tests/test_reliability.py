@@ -302,6 +302,40 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(recovery_timeout_s=-1.0)
 
+    def test_half_open_admits_exactly_one_probe_under_racing_threads(self):
+        # Regression: admit() used to read state and consume the probe
+        # slot non-atomically, so threads racing at a freshly half-open
+        # circuit could all win the single probe.  A barrier lines the
+        # threads up on the same admit() call; exactly one may pass.
+        import threading
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout_s=1.0,
+            half_open_max_probes=1, clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)  # OPEN -> eligible for HALF_OPEN on next admit
+
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        admitted = []
+        admitted_lock = threading.Lock()
+
+        def race():
+            barrier.wait()
+            if breaker.admit():
+                with admitted_lock:
+                    admitted.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=race) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.total_rejections == n_threads - 1
+
 
 class TestFaultyDatabase:
     def test_zero_rates_is_transparent(self):
