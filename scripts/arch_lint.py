@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Architectural lint for the repro source tree.
 
-Five rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
+Six rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
 
 ARCH001 — raw clock reads.  ``time.time()``, ``time.monotonic()``,
     ``time.perf_counter()``, ``datetime.now()`` and ``datetime.utcnow()``
@@ -46,6 +46,17 @@ ARCH005 — concurrency containment.  Thread, lock, and queue
     every model layer stay single-threaded and deterministic; all
     concurrency lives behind the serving facade where it is tested on
     a FakeClock.
+
+ARCH006 — provider encapsulation.  LM provider *implementations*
+    (``repro.lm.providers.local`` / ``.sim`` / ``.router``) may only
+    be imported inside ``lm/providers/`` and ``lm/registry.py`` — the
+    registry is the sanctioned construction point
+    (``LMRegistry.router_for``).  And ``engine/`` and ``serving/`` may
+    import nothing from ``repro.lm.providers`` at all (not even the
+    protocol or config): the engine reaches providers through
+    ``parser.router`` and serving reads router statistics as plain
+    dicts, so failover topology can change without touching either
+    layer.
 
 Usage::
 
@@ -104,6 +115,22 @@ CONCURRENCY_MODULES = ("threading", "_thread", "queue", "multiprocessing", "conc
 #: path prefixes (relative to the lint root) allowed to use concurrency
 #: primitives.
 CONCURRENCY_ALLOWLIST_PREFIXES = ("serving/", "reliability/")
+
+#: the provider package ARCH006 polices.
+PROVIDERS_PACKAGE = "repro.lm.providers"
+
+#: concrete implementation submodules importable only via the registry.
+#: (``base`` and ``config`` are interface/data and stay importable
+#: outside the banned zones; the public package API is always legal
+#: outside them too.)
+PROVIDER_IMPL_MODULES = ("local", "sim", "router")
+
+#: locations allowed to import provider implementation submodules.
+PROVIDER_ALLOWLIST_PREFIXES = ("lm/providers/",)
+PROVIDER_ALLOWLIST_FILES = ("lm/registry.py",)
+
+#: path prefixes that may not import ANYTHING from the provider package.
+PROVIDER_BANNED_PREFIXES = ("engine/", "serving/")
 
 
 @dataclass(frozen=True)
@@ -195,6 +222,15 @@ def _imported_modules(node: ast.AST) -> list[str]:
     return []
 
 
+def _provider_impl_module(module: str) -> bool:
+    """Is ``module`` (or a name inside) a provider implementation?"""
+    for impl in PROVIDER_IMPL_MODULES:
+        qualified = f"{PROVIDERS_PACKAGE}.{impl}"
+        if module == qualified or module.startswith(qualified + "."):
+            return True
+    return False
+
+
 def lint_source(
     source: str,
     path: str,
@@ -203,6 +239,8 @@ def lint_source(
     engine_exempt: bool = False,
     pipeline_exempt: bool = False,
     concurrency_exempt: bool = False,
+    provider_exempt: bool = False,
+    provider_banned: bool = False,
 ) -> list[Violation]:
     """Lint one module's source text; ``path`` is used in messages only."""
     tree = ast.parse(source, filename=path)
@@ -235,6 +273,41 @@ def lint_source(
                             ingredient + "."
                         ):
                             pipeline_imports.setdefault(ingredient, node.lineno)
+            if not provider_exempt:
+                provider_touched = any(
+                    module == PROVIDERS_PACKAGE
+                    or module.startswith(PROVIDERS_PACKAGE + ".")
+                    for module in modules
+                )
+                if provider_banned and provider_touched:
+                    violations.append(
+                        Violation(
+                            path=path,
+                            line=node.lineno,
+                            rule="ARCH006",
+                            message=(
+                                f"{PROVIDERS_PACKAGE} import inside engine/ "
+                                "or serving/; the engine consumes providers "
+                                "via parser.router and serving reads router "
+                                "stats as plain dicts"
+                            ),
+                        )
+                    )
+                elif any(_provider_impl_module(module) for module in modules):
+                    violations.append(
+                        Violation(
+                            path=path,
+                            line=node.lineno,
+                            rule="ARCH006",
+                            message=(
+                                "provider implementation import "
+                                f"({PROVIDERS_PACKAGE}.{{{'|'.join(PROVIDER_IMPL_MODULES)}}}) "
+                                "outside lm/providers/; construct routers "
+                                "via LMRegistry.router_for or the "
+                                "repro.lm.providers package API"
+                            ),
+                        )
+                    )
             if not concurrency_exempt:
                 for module in modules:
                     if any(
@@ -336,6 +409,11 @@ def lint_tree(root: Path) -> list[Violation]:
                 concurrency_exempt=relative.startswith(
                     CONCURRENCY_ALLOWLIST_PREFIXES
                 ),
+                provider_exempt=(
+                    relative.startswith(PROVIDER_ALLOWLIST_PREFIXES)
+                    or relative in PROVIDER_ALLOWLIST_FILES
+                ),
+                provider_banned=relative.startswith(PROVIDER_BANNED_PREFIXES),
             )
         )
     return violations

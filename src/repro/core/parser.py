@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -58,6 +58,9 @@ from repro.sqlgen.serializer import serialize
 from repro.sqlgen.skeleton import skeleton_of_query
 from repro.text.embedder import HashedNgramEmbedder
 from repro.text.pattern import extract_pattern
+
+if TYPE_CHECKING:
+    from repro.lm.providers.config import RouterConfig
 from repro.core.slotfill import InstantiationContext, instantiate_template
 
 
@@ -133,6 +136,7 @@ class CodeSParser:
         equivalence_dedup: bool = True,
         clock: Clock | None = None,
         lm_registry: LMRegistry | None = None,
+        providers: "RouterConfig | None" = None,
     ):
         self.config = config or get_model_config(model)
         self.use_pattern_similarity = use_pattern_similarity
@@ -157,7 +161,18 @@ class CodeSParser:
                 options.max_prompt_chars, self.config.max_context_chars
             ),
         )
-        self.lm = (lm_registry or DEFAULT_LM_REGISTRY).lm_for(self.config)
+        registry = lm_registry or DEFAULT_LM_REGISTRY
+        self.lm = registry.lm_for(self.config)
+        #: The reliability boundary in front of the LM.  With the
+        #: default config (one fault-free zero-latency local provider)
+        #: ``router.score`` is arithmetically identical to
+        #: ``lm.score``, preserving golden engine parity; a
+        #: ``providers=`` topology swaps in failover/hedging without
+        #: the engine noticing.  Built through the registry, never by
+        #: importing repro.lm.providers here (ARCH006).
+        self.router = registry.router_for(
+            self.config, providers, clock=clock
+        )
         self.embedder = HashedNgramEmbedder(dim=self.config.embed_dim)
         self.extractor = SchemaFeatureExtractor(
             embedder=self.embedder,

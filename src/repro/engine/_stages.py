@@ -125,10 +125,16 @@ class _SqlMemos:
 
 
 def _sql_memos(ctx: InferenceContext, parser: "CodeSParser") -> _SqlMemos:
-    """The per-database SQL memos, resolved through the cache."""
+    """The per-database SQL memos, resolved through the cache.
+
+    Keyed by the parser's *router*, not its bare LM: two parsers
+    sharing an LM but routing through different provider topologies
+    may legitimately observe different scores (a failover can answer
+    from a different provider), so their memos must not alias.
+    """
     return ctx.cache.get(
         "sql_memos",
-        (id(ctx.database), id(parser.lm)),
+        (id(ctx.database), id(parser.router)),
         _SqlMemos,
     )
 
@@ -364,7 +370,10 @@ class RankStage(_ParserStage):
                 2.0 * retrieval_sim
                 + 0.5 * link_quality
                 + 0.4 * table_quality
-                + 0.08 * memos.get("lm", sql, lambda: parser.lm.score(sql))
+                # The LM prior flows through the provider router — the
+                # reliability boundary (failover, hedging, breakers)
+                # between the engine and whatever backs the model.
+                + 0.08 * memos.get("lm", sql, lambda: parser.router.score(sql))
                 + 0.25 * value_bonus(filled, ctx.matched)
                 - 0.1 * projection_filter_overlap(filled)
                 - 0.5 * count_mismatch(filled, ctx.question)

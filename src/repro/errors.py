@@ -60,6 +60,43 @@ class GenerationError(ReproError):
     """Raised when the parser cannot produce any SQL candidate."""
 
 
+class ProviderError(ReproError):
+    """Base class for LM provider call failures (repro.lm.providers)."""
+
+
+class ProviderFaultError(ProviderError):
+    """Raised when a provider call fails outright (5xx-style fault).
+
+    ``latency_s`` is the simulated time the failing call occupied (a
+    remote fault still costs a network round-trip).
+    """
+
+    def __init__(self, message: str, latency_s: float = 0.0):
+        super().__init__(message)
+        self.latency_s = latency_s
+
+
+class ProviderTimeoutError(ProviderError, TimeoutError):
+    """Raised when a provider call exceeds its simulated timeout.
+
+    ``latency_s`` reports how long the call occupied before timing out
+    — the router charges that time to the clock even though the call
+    produced nothing.
+    """
+
+    def __init__(self, message: str, latency_s: float = 0.0):
+        super().__init__(message)
+        self.latency_s = latency_s
+
+
+class AllProvidersOpenError(ProviderError):
+    """Raised when every provider's circuit breaker rejects a call.
+
+    The serving layer maps this to the ``ProviderShed`` outcome: the
+    request never reached a model, so it is shed rather than failed.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a benchmark dataset cannot be built or loaded."""
 

@@ -1,0 +1,62 @@
+"""Pluggable LM providers with health-aware routing (ROADMAP: serving).
+
+The package splits the provider layer into:
+
+- :mod:`~repro.lm.providers.base` — the protocol (``generate``,
+  ``score``, ``health``, capability flags) and the no-sleep latency
+  convention that keeps routing deterministic on a ``FakeClock``;
+- :mod:`~repro.lm.providers.local` — the in-process adapter over the
+  pre-trained n-gram LM (parity-preserving: zero latency, no faults);
+- :mod:`~repro.lm.providers.sim` — seeded fault-injecting and
+  latency-realistic "remote" providers for chaos tests and benches;
+- :mod:`~repro.lm.providers.router` — retries, per-provider circuit
+  breakers, health-probe-driven failover, hedged requests;
+- :mod:`~repro.lm.providers.config` — the declarative topology the
+  registry and CLI build routers from.
+
+ARCH006: the engine and serving layers never import this package —
+they reach providers through ``CodeSParser.router`` (built by the LM
+registry), and serving reads router statistics as plain dicts.
+"""
+
+from repro.lm.providers.base import (
+    HealthReport,
+    Provider,
+    ProviderCapabilities,
+    ProviderResponse,
+)
+from repro.lm.providers.config import (
+    ProviderSpec,
+    RouterConfig,
+    build_provider,
+    build_router,
+    local_router,
+)
+from repro.lm.providers.local import LocalLMProvider
+from repro.lm.providers.router import ProviderRouter, RouteResult, RoutedProvider
+from repro.lm.providers.sim import (
+    DeadProvider,
+    FlakyProvider,
+    LatencyModel,
+    RemoteProvider,
+)
+
+__all__ = [
+    "DeadProvider",
+    "FlakyProvider",
+    "HealthReport",
+    "LatencyModel",
+    "LocalLMProvider",
+    "Provider",
+    "ProviderCapabilities",
+    "ProviderResponse",
+    "ProviderRouter",
+    "ProviderSpec",
+    "RemoteProvider",
+    "RouteResult",
+    "RoutedProvider",
+    "RouterConfig",
+    "build_provider",
+    "build_router",
+    "local_router",
+]

@@ -1,0 +1,102 @@
+"""The LM provider protocol: what the router routes over.
+
+A *provider* is one place SQL text can be scored or generated — the
+in-process n-gram LM today, a hosted LLM API in the ROADMAP's north
+star.  The protocol is deliberately tiny: two operations (``generate``,
+``score``), a ``health`` probe, and a frozen capability declaration.
+Everything about *reliability* — retries, breakers, failover, hedging
+— lives in :class:`~repro.lm.providers.router.ProviderRouter`, not in
+the providers, so a provider only has to be honest about its own
+behaviour.
+
+Two conventions make the layer deterministic on a
+:class:`~repro.reliability.clock.FakeClock`:
+
+- Providers never sleep.  A call *reports* the simulated time it
+  occupied (``ProviderResponse.latency_s``, or ``latency_s`` on the
+  raised :class:`~repro.errors.ProviderError`); the router charges the
+  clock exactly once per routed request with the effective latency it
+  computed from those reports.  This is what makes hedged requests
+  analyzable: the winner's completion time is a pure function of the
+  reported latencies and the hedge delay.
+- All randomness is seeded per provider at construction
+  (``random.Random(f"{label}:{seed}")``), so a provider's fault and
+  latency sequence is reproducible from call order alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class ProviderCapabilities:
+    """What a provider can do, declared once at construction.
+
+    The router consults these flags before dispatch: routing a
+    ``score`` call to a generate-only provider is a config error, not a
+    runtime fault, and is rejected before any breaker or retry budget
+    is spent.
+    """
+
+    can_generate: bool = True
+    can_score: bool = True
+    #: Provider runs in-process; faults and latency are not simulated.
+    local: bool = False
+
+    def supports(self, op: str) -> bool:
+        if op == "generate":
+            return self.can_generate
+        if op == "score":
+            return self.can_score
+        raise ValueError(f"unknown provider operation {op!r}")
+
+
+@dataclass(frozen=True)
+class ProviderResponse:
+    """One successful provider call: the value plus its simulated cost.
+
+    ``latency_s`` is the time the call *would have* occupied; the
+    provider does not sleep it.  The router folds reported latencies
+    into a single clock charge per routed request.
+    """
+
+    value: Any
+    latency_s: float
+    provider: str
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One health-probe result.
+
+    ``healthy`` feeds the router's selection order (healthy providers
+    first); ``detail`` is a human-readable reason surfaced by the
+    ``repro providers`` CLI.
+    """
+
+    provider: str
+    healthy: bool
+    latency_s: float = 0.0
+    detail: str = ""
+
+
+@runtime_checkable
+class Provider(Protocol):
+    """Anything the :class:`ProviderRouter` can route to."""
+
+    name: str
+    capabilities: ProviderCapabilities
+
+    def generate(self, prompt: str) -> ProviderResponse:
+        """Produce SQL text for ``prompt``; may raise ``ProviderError``."""
+        ...
+
+    def score(self, text: str) -> ProviderResponse:
+        """Score SQL fluency (higher is better); may raise ``ProviderError``."""
+        ...
+
+    def health(self) -> HealthReport:
+        """Probe liveness.  Must not raise — report, don't fail."""
+        ...

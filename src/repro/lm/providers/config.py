@@ -1,0 +1,174 @@
+"""Declarative provider/router configuration.
+
+A router topology is data: which providers exist, what kind each is,
+its priority, fault rates, latency shape, and the router's hedging,
+probing, retry, and breaker knobs.  :class:`RouterConfig` captures
+that as frozen dataclasses (hashable — the registry keys on them),
+``RouterConfig.from_dict`` parses the JSON form the ``repro
+providers`` CLI accepts, and :func:`build_router` turns a config plus
+a local LM into a live :class:`~repro.lm.providers.router.ProviderRouter`.
+
+Every simulated provider wraps the *same* local LM adapter, so a
+config mixing healthy, flaky, and dead providers routes around faults
+with zero SQL drift by construction — only timing and availability
+vary, never answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lm.pretrain import PretrainedLM
+from repro.lm.providers.local import LocalLMProvider
+from repro.lm.providers.router import ProviderRouter
+from repro.lm.providers.sim import (
+    DeadProvider,
+    FlakyProvider,
+    LatencyModel,
+    RemoteProvider,
+)
+from repro.reliability.clock import Clock
+from repro.reliability.retry import RetryPolicy
+
+PROVIDER_KINDS = ("local", "flaky", "remote", "dead")
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """One provider declaration.
+
+    ``kind`` selects the implementation: ``local`` (the in-process LM
+    adapter), ``flaky`` (local + seeded fault injection), ``remote``
+    (local + seeded latency model + fault injection), ``dead`` (hard
+    outage).  Latency fields apply to ``remote`` only.
+    """
+
+    name: str
+    kind: str = "local"
+    priority: int = 0
+    failure_rate: float = 0.0
+    timeout_rate: float = 0.0
+    timeout_s: float = 1.0
+    latency_median_s: float = 0.05
+    latency_sigma: float = 0.35
+    latency_tail_p: float = 0.0
+    latency_tail_mult: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROVIDER_KINDS:
+            raise ValueError(
+                f"unknown provider kind {self.kind!r}; "
+                f"expected one of {PROVIDER_KINDS}"
+            )
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> ProviderSpec:
+        allowed = set(cls.__dataclass_fields__)
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown provider spec field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        return cls(**raw)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """A full router topology plus its reliability knobs."""
+
+    providers: tuple[ProviderSpec, ...] = field(
+        default_factory=lambda: (ProviderSpec(name="local", kind="local"),)
+    )
+    hedge_delay_s: float | None = None
+    probe_interval_s: float | None = None
+    retry_max_attempts: int = 1
+    retry_base_delay_s: float = 0.05
+    retry_seed: int = 0
+    breaker_failure_threshold: int = 3
+    breaker_recovery_timeout_s: float = 5.0
+    name: str = "router"
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> RouterConfig:
+        allowed = set(cls.__dataclass_fields__)
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown router config field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        data = dict(raw)
+        if "providers" in data:
+            data["providers"] = tuple(
+                spec if isinstance(spec, ProviderSpec) else ProviderSpec.from_dict(spec)
+                for spec in data["providers"]
+            )
+        return cls(**data)
+
+
+def build_provider(spec: ProviderSpec, lm: PretrainedLM):
+    """Instantiate one provider from its spec, backed by ``lm``."""
+    local = LocalLMProvider(lm, name=spec.name if spec.kind == "local" else f"{spec.name}.lm")
+    if spec.kind == "local":
+        return local
+    if spec.kind == "flaky":
+        return FlakyProvider(
+            local,
+            name=spec.name,
+            failure_rate=spec.failure_rate,
+            timeout_rate=spec.timeout_rate,
+            timeout_s=spec.timeout_s,
+            seed=spec.seed,
+        )
+    if spec.kind == "remote":
+        return RemoteProvider(
+            local,
+            name=spec.name,
+            latency=LatencyModel(
+                median_s=spec.latency_median_s,
+                sigma=spec.latency_sigma,
+                tail_p=spec.latency_tail_p,
+                tail_mult=spec.latency_tail_mult,
+            ),
+            failure_rate=spec.failure_rate,
+            timeout_rate=spec.timeout_rate,
+            timeout_s=spec.timeout_s,
+            seed=spec.seed,
+        )
+    return DeadProvider(name=spec.name)
+
+
+def build_router(
+    config: RouterConfig, lm: PretrainedLM, clock: Clock | None = None
+) -> ProviderRouter:
+    """A live router for ``config``, every provider backed by ``lm``."""
+    providers = [
+        (build_provider(spec, lm), spec.priority) for spec in config.providers
+    ]
+    return ProviderRouter(
+        providers,
+        clock=clock,
+        retry=RetryPolicy(
+            max_attempts=config.retry_max_attempts,
+            base_delay_s=config.retry_base_delay_s,
+            seed=config.retry_seed,
+        ),
+        hedge_delay_s=config.hedge_delay_s,
+        probe_interval_s=config.probe_interval_s,
+        breaker_failure_threshold=config.breaker_failure_threshold,
+        breaker_recovery_timeout_s=config.breaker_recovery_timeout_s,
+        name=config.name,
+    )
+
+
+def local_router(lm: PretrainedLM, clock: Clock | None = None) -> ProviderRouter:
+    """The parity-preserving default: one zero-latency local provider.
+
+    With a single fault-free in-process provider, no hedging, and no
+    probing, ``router.score(text) == lm.score(text)`` exactly and the
+    clock is never charged — the engine's golden outputs stay
+    byte-identical.
+    """
+    return build_router(RouterConfig(), lm, clock=clock)

@@ -1,0 +1,324 @@
+"""Simulated unreliable providers: seeded faults, realistic latency.
+
+These wrap an inner provider (usually the
+:class:`~repro.lm.providers.local.LocalLMProvider`) and re-introduce
+the failure modes hosted LLM APIs exhibit — 5xx faults, timeouts,
+log-normal latency with a heavy tail — at configurable rates from a
+seeded RNG.  Because every simulated provider delegates the actual
+*answer* to the same inner LM, a router mixing healthy, flaky, and
+dead providers can fail over freely with **zero SQL drift**: whichever
+provider wins, the value is the same.
+
+Fault decisions come from the shared
+:class:`~repro.reliability.faults.FaultDecider`, the same core behind
+the eval harness's ``FlakyLLM`` wrapper, so chaos semantics cannot
+diverge between the two layers.  Latency draws come from a separate
+seeded RNG stream so fault sequence and latency sequence are
+independently reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ProviderFaultError, ProviderTimeoutError
+from repro.lm.providers.base import (
+    HealthReport,
+    Provider,
+    ProviderCapabilities,
+    ProviderResponse,
+)
+from repro.reliability.faults import FaultDecider
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A seeded log-normal latency distribution with an optional tail.
+
+    ``median_s`` and ``sigma`` parameterize the log-normal body (the
+    classic shape of RPC latency); with probability ``tail_p`` a draw
+    is multiplied by ``tail_mult`` — the stragglers that hedged
+    requests exist to cut.
+    """
+
+    median_s: float = 0.05
+    sigma: float = 0.35
+    tail_p: float = 0.0
+    tail_mult: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.median_s < 0:
+            raise ValueError(f"median_s must be >= 0, got {self.median_s}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if not 0.0 <= self.tail_p <= 1.0:
+            raise ValueError(f"tail_p must lie in [0, 1], got {self.tail_p}")
+        if self.tail_mult < 1.0:
+            raise ValueError(f"tail_mult must be >= 1, got {self.tail_mult}")
+
+    def draw(self, rng: random.Random) -> float:
+        if self.median_s == 0.0:
+            return 0.0
+        latency = rng.lognormvariate(math.log(self.median_s), self.sigma)
+        if self.tail_p > 0.0 and rng.random() < self.tail_p:
+            latency *= self.tail_mult
+        return latency
+
+
+class FlakyProvider:
+    """A provider wrapper injecting faults via the shared decision core.
+
+    The provider-protocol port of the eval harness's ``FlakyLLM``: one
+    :class:`FaultDecider` drives both, so one fault injector serves
+    the eval harness and the router's chaos tests.  Each ``generate``
+    / ``score`` call draws once; a ``"failure"`` verdict raises
+    :class:`~repro.errors.ProviderFaultError`, ``"timeout"`` raises
+    :class:`~repro.errors.ProviderTimeoutError` (charged ``timeout_s``
+    of simulated latency — a timeout occupies its full budget), and
+    otherwise the call delegates to the inner provider.
+
+    ``health()`` consumes a fault draw too: a probe is a call, and a
+    probe against a flaky endpoint is itself flaky.  A fault verdict
+    makes the report unhealthy without raising.
+    """
+
+    def __init__(
+        self,
+        inner: Provider,
+        name: str = "flaky",
+        failure_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        timeout_s: float = 1.0,
+        seed: int = 0,
+    ):
+        self.inner = inner
+        self.name = name
+        self.capabilities = inner.capabilities
+        self.timeout_s = float(timeout_s)
+        self._decider = FaultDecider(
+            failure_rate=failure_rate,
+            timeout_rate=timeout_rate,
+            seed=seed,
+            label=f"flaky-provider[{name}]",
+        )
+        self.calls = 0
+
+    @property
+    def failure_rate(self) -> float:
+        return self._decider.failure_rate
+
+    @property
+    def timeout_rate(self) -> float:
+        return self._decider.timeout_rate
+
+    @property
+    def injected_failures(self) -> int:
+        return self._decider.injected_failures
+
+    @property
+    def injected_timeouts(self) -> int:
+        return self._decider.injected_timeouts
+
+    def _maybe_fault(self, op: str, payload: str) -> None:
+        verdict, draw = self._decider.decide()
+        if verdict == "failure":
+            raise ProviderFaultError(
+                f"provider {self.name!r}: injected {op} fault "
+                f"(draw={draw:.4f}) for {payload[:60]!r}"
+            )
+        if verdict == "timeout":
+            raise ProviderTimeoutError(
+                f"provider {self.name!r}: injected {op} timeout "
+                f"(draw={draw:.4f}) for {payload[:60]!r}",
+                latency_s=self.timeout_s,
+            )
+
+    def generate(self, prompt: str) -> ProviderResponse:
+        self.calls += 1
+        self._maybe_fault("generate", prompt)
+        inner = self.inner.generate(prompt)
+        return ProviderResponse(
+            value=inner.value, latency_s=inner.latency_s, provider=self.name
+        )
+
+    def score(self, text: str) -> ProviderResponse:
+        self.calls += 1
+        self._maybe_fault("score", text)
+        inner = self.inner.score(text)
+        return ProviderResponse(
+            value=inner.value, latency_s=inner.latency_s, provider=self.name
+        )
+
+    def health(self) -> HealthReport:
+        verdict, draw = self._decider.decide()
+        if verdict is not None:
+            return HealthReport(
+                provider=self.name,
+                healthy=False,
+                latency_s=self.timeout_s if verdict == "timeout" else 0.0,
+                detail=f"probe hit injected {verdict} (draw={draw:.4f})",
+            )
+        inner = self.inner.health()
+        return HealthReport(
+            provider=self.name,
+            healthy=inner.healthy,
+            latency_s=inner.latency_s,
+            detail=inner.detail,
+        )
+
+
+class RemoteProvider:
+    """A latency-realistic "hosted API" provider.
+
+    Composes the two things that make remote LLM calls interesting:
+    a seeded :class:`LatencyModel` (log-normal body, optional heavy
+    tail) and seeded fault injection (failure / timeout rates through
+    the shared :class:`FaultDecider`).  The answer itself still comes
+    from the wrapped inner provider — the simulation changes *when and
+    whether* you get it, never *what* you get.
+
+    Latency draws and fault draws use independent RNG streams, so
+    enabling faults does not perturb the latency sequence (and vice
+    versa) — each is reproducible from ``(seed, call order)`` alone.
+    A draw above ``timeout_s`` is itself reported as a timeout: the
+    caller's deadline would have expired first.
+    """
+
+    def __init__(
+        self,
+        inner: Provider,
+        name: str = "remote",
+        latency: LatencyModel | None = None,
+        failure_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        timeout_s: float = 1.0,
+        seed: int = 0,
+    ):
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.inner = inner
+        self.name = name
+        self.capabilities = inner.capabilities
+        self.latency = latency if latency is not None else LatencyModel()
+        self.timeout_s = float(timeout_s)
+        self._decider = FaultDecider(
+            failure_rate=failure_rate,
+            timeout_rate=timeout_rate,
+            seed=seed,
+            label=f"remote-provider[{name}]",
+        )
+        self._latency_rng = random.Random(f"remote-latency[{name}]:{seed}")
+        self.calls = 0
+        self.natural_timeouts = 0
+
+    @property
+    def injected_failures(self) -> int:
+        return self._decider.injected_failures
+
+    @property
+    def injected_timeouts(self) -> int:
+        return self._decider.injected_timeouts
+
+    def _simulate(self, op: str, payload: str) -> float:
+        """One remote round-trip: returns the latency or raises."""
+        latency = self.latency.draw(self._latency_rng)
+        verdict, draw = self._decider.decide()
+        if verdict == "failure":
+            raise ProviderFaultError(
+                f"provider {self.name!r}: injected {op} fault "
+                f"(draw={draw:.4f}) for {payload[:60]!r}",
+                latency_s=min(latency, self.timeout_s),
+            )
+        if verdict == "timeout":
+            raise ProviderTimeoutError(
+                f"provider {self.name!r}: injected {op} timeout "
+                f"(draw={draw:.4f}) for {payload[:60]!r}",
+                latency_s=self.timeout_s,
+            )
+        if latency > self.timeout_s:
+            self.natural_timeouts += 1
+            raise ProviderTimeoutError(
+                f"provider {self.name!r}: {op} latency {latency:.3f}s exceeded "
+                f"timeout {self.timeout_s:.3f}s for {payload[:60]!r}",
+                latency_s=self.timeout_s,
+            )
+        return latency
+
+    def generate(self, prompt: str) -> ProviderResponse:
+        self.calls += 1
+        latency = self._simulate("generate", prompt)
+        inner = self.inner.generate(prompt)
+        return ProviderResponse(
+            value=inner.value,
+            latency_s=latency + inner.latency_s,
+            provider=self.name,
+        )
+
+    def score(self, text: str) -> ProviderResponse:
+        self.calls += 1
+        latency = self._simulate("score", text)
+        inner = self.inner.score(text)
+        return ProviderResponse(
+            value=inner.value,
+            latency_s=latency + inner.latency_s,
+            provider=self.name,
+        )
+
+    def health(self) -> HealthReport:
+        try:
+            latency = self._simulate("health", "probe")
+        except (ProviderFaultError, ProviderTimeoutError) as exc:
+            return HealthReport(
+                provider=self.name,
+                healthy=False,
+                latency_s=exc.latency_s,
+                detail=str(exc),
+            )
+        inner = self.inner.health()
+        return HealthReport(
+            provider=self.name,
+            healthy=inner.healthy,
+            latency_s=latency + inner.latency_s,
+            detail=inner.detail,
+        )
+
+
+class DeadProvider:
+    """A provider that fails every call — a hard outage, not flap.
+
+    The benchmark's "dead" leg and the simplest way to exercise
+    breaker-open failover: every ``generate``/``score`` raises
+    :class:`~repro.errors.ProviderFaultError` after ``latency_s`` of
+    simulated connect time, and ``health()`` always reports unhealthy.
+    """
+
+    def __init__(self, name: str = "dead", latency_s: float = 0.0):
+        self.name = name
+        self.capabilities = ProviderCapabilities(
+            can_generate=True, can_score=True, local=False
+        )
+        self.latency_s = float(latency_s)
+        self.calls = 0
+
+    def _refuse(self, op: str, payload: str) -> ProviderResponse:
+        self.calls += 1
+        raise ProviderFaultError(
+            f"provider {self.name!r}: endpoint down ({op} {payload[:60]!r})",
+            latency_s=self.latency_s,
+        )
+
+    def generate(self, prompt: str) -> ProviderResponse:
+        return self._refuse("generate", prompt)
+
+    def score(self, text: str) -> ProviderResponse:
+        return self._refuse("score", text)
+
+    def health(self) -> HealthReport:
+        return HealthReport(
+            provider=self.name,
+            healthy=False,
+            latency_s=self.latency_s,
+            detail="endpoint down",
+        )

@@ -10,18 +10,26 @@ The process-wide default registry keeps the old sharing behaviour for
 ordinary use.
 
 A serving process that cycles through many tiers or corpus seeds would
-otherwise grow the registry without limit, so both internal maps can be
-bounded with LRU eviction (``capacity`` counts LMs and corpora
-separately — each map holds at most ``capacity`` entries).
+otherwise grow the registry without limit, so the internal maps can be
+bounded with LRU eviction (``capacity`` counts LMs, corpora, and
+routers separately — each map holds at most ``capacity`` entries).
+Provider routers (:mod:`repro.lm.providers`) are registry citizens
+too: ``router_for`` caches one live router per (LM recipe, router
+config, clock) so parsers sharing a topology share breaker state.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.config import ModelConfig
 from repro.lm.corpus import CorpusConfig, PretrainCorpus, build_corpus
 from repro.lm.pretrain import IncrementalPretrainer, PretrainedLM, pretrain_base_lm
+
+if TYPE_CHECKING:
+    from repro.lm.providers.config import RouterConfig
+    from repro.lm.providers.router import ProviderRouter
+    from repro.reliability.clock import Clock
 
 
 class LMRegistry:
@@ -38,8 +46,10 @@ class LMRegistry:
         self.capacity = capacity
         self._lms: dict[tuple[str, bool, int], PretrainedLM] = {}
         self._corpora: dict[int, PretrainCorpus] = {}
+        self._routers: dict[tuple, "ProviderRouter"] = {}
         self.lm_evictions = 0
         self.corpus_evictions = 0
+        self.router_evictions = 0
 
     def _touch(self, store: dict, key: Any) -> Any:
         # LRU bookkeeping: re-insertion moves the key to the end.
@@ -77,23 +87,58 @@ class LMRegistry:
         self.lm_evictions += self._bound(self._lms)
         return base
 
+    def router_for(
+        self,
+        config: ModelConfig,
+        router_config: "RouterConfig | None" = None,
+        clock: "Clock | None" = None,
+    ) -> "ProviderRouter":
+        """The (cached) provider router fronting a model tier's LM.
+
+        Routers are registry citizens like LMs: keyed by the LM recipe
+        plus the (hashable, frozen) :class:`RouterConfig` plus the
+        clock identity — a router carries live breaker state bound to
+        one clock, so routers on different clocks must not be shared.
+        Subject to the same LRU ``capacity`` bound as LMs and corpora,
+        with evictions counted in ``router_evictions``.
+        """
+        from repro.lm.providers.config import RouterConfig, build_router
+
+        router_config = router_config if router_config is not None else RouterConfig()
+        key = (
+            (config.family, config.incremental, config.ngram_order),
+            router_config,
+            id(clock) if clock is not None else None,
+        )
+        if key in self._routers:
+            return self._touch(self._routers, key)
+        router = self._routers[key] = build_router(
+            router_config, self.lm_for(config), clock=clock
+        )
+        self.router_evictions += self._bound(self._routers)
+        return router
+
     def clear(self) -> None:
-        """Drop every cached corpus and LM (they rebuild on next use)."""
+        """Drop every cached corpus, LM, and router (rebuilt on next use)."""
         self._lms.clear()
         self._corpora.clear()
+        self._routers.clear()
         self.lm_evictions = 0
         self.corpus_evictions = 0
+        self.router_evictions = 0
 
     def __len__(self) -> int:
-        return len(self._lms) + len(self._corpora)
+        return len(self._lms) + len(self._corpora) + len(self._routers)
 
     @property
     def stats(self) -> dict[str, int | None]:
         return {
             "lms": len(self._lms),
             "corpora": len(self._corpora),
+            "routers": len(self._routers),
             "lm_evictions": self.lm_evictions,
             "corpus_evictions": self.corpus_evictions,
+            "router_evictions": self.router_evictions,
             "capacity": self.capacity,
         }
 

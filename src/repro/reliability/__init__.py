@@ -15,25 +15,35 @@ All time flows through the injectable :class:`Clock`; tests use
 :class:`FakeClock` and never sleep for real.
 """
 
-from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.reliability.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerStats,
+    CircuitBreaker,
+)
 from repro.reliability.clock import Clock, FakeClock, MonotonicClock, SYSTEM_CLOCK
 from repro.reliability.deadline import Deadline, ExecutionGuard
 from repro.reliability.faults import (
     BeamDuplicator,
+    FaultDecider,
     FaultyDatabase,
     FlakyLLM,
     SchemaHallucinator,
 )
 from repro.reliability.retry import RetryPolicy
+from repro.reliability.sync import new_lock
 
 __all__ = [
     "BeamDuplicator",
+    "BreakerStats",
     "CLOSED",
     "CircuitBreaker",
     "Clock",
     "Deadline",
     "ExecutionGuard",
     "FakeClock",
+    "FaultDecider",
     "FaultyDatabase",
     "FlakyLLM",
     "HALF_OPEN",
@@ -42,4 +52,5 @@ __all__ = [
     "RetryPolicy",
     "SYSTEM_CLOCK",
     "SchemaHallucinator",
+    "new_lock",
 ]

@@ -19,6 +19,7 @@ recover/admit sequence is atomic.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Callable, TypeVar
 
 from repro.errors import CircuitOpenError
@@ -29,6 +30,39 @@ T = TypeVar("T")
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerStats:
+    """One frozen snapshot of a breaker's state and counters.
+
+    Observability readers (``ServerMetrics``, the ``repro providers``
+    CLI) consume this instead of reaching into the breaker's private
+    attributes; the snapshot is taken under the breaker lock, so the
+    fields are mutually consistent.
+    """
+
+    name: str
+    state: str
+    consecutive_failures: int
+    open_count: int
+    total_failures: int
+    total_rejections: int
+    #: Clock time of the last state transition (breaker creation time
+    #: until the first trip).
+    last_transition_at: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data form for layers that must not import this module."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "open_count": self.open_count,
+            "total_failures": self.total_failures,
+            "total_rejections": self.total_rejections,
+            "last_transition_at": self.last_transition_at,
+        }
 
 
 class CircuitBreaker:
@@ -60,6 +94,8 @@ class CircuitBreaker:
         self._half_open_probes = 0
         self.total_failures = 0
         self.total_rejections = 0
+        self.open_count = 0
+        self._last_transition_at = self._clock.now()
 
     # -- state ---------------------------------------------------------------
 
@@ -76,6 +112,22 @@ class CircuitBreaker:
         ):
             self._state = HALF_OPEN
             self._half_open_probes = 0
+            self._last_transition_at = self._clock.now()
+
+    @property
+    def stats(self) -> BreakerStats:
+        """A frozen, lock-consistent snapshot for observability readers."""
+        with self._lock:
+            self._maybe_recover()
+            return BreakerStats(
+                name=self.name,
+                state=self._state,
+                consecutive_failures=self._consecutive_failures,
+                open_count=self.open_count,
+                total_failures=self.total_failures,
+                total_rejections=self.total_rejections,
+                last_transition_at=self._last_transition_at,
+            )
 
     def allow(self) -> bool:
         """Would a call be admitted right now?  (Does not consume a probe.)"""
@@ -115,6 +167,7 @@ class CircuitBreaker:
         with self._lock:
             if self._state == HALF_OPEN:
                 self._state = CLOSED
+                self._last_transition_at = self._clock.now()
             self._consecutive_failures = 0
 
     def record_failure(self) -> None:
@@ -130,8 +183,10 @@ class CircuitBreaker:
     def _trip(self) -> None:
         self._state = OPEN
         self._opened_at = self._clock.now()
+        self._last_transition_at = self._opened_at
         self._consecutive_failures = 0
         self._half_open_probes = 0
+        self.open_count += 1
 
     # -- call wrapper ----------------------------------------------------------
 

@@ -34,6 +34,54 @@ def _validate_rate(name: str, value: float) -> float:
     return float(value)
 
 
+class FaultDecider:
+    """The seeded fault-decision core every generation injector shares.
+
+    One decider, one RNG stream, one draw per decision: given
+    ``(label, seed)`` the sequence of ``None`` / ``"failure"`` /
+    ``"timeout"`` verdicts is reproducible from call order alone.  Both
+    the legacy :class:`FlakyLLM` generator wrapper (eval harness) and
+    the provider-protocol :class:`repro.lm.providers.FlakyProvider`
+    (router chaos tests) delegate here, so the two injectors cannot
+    drift apart in rate semantics or determinism.
+    """
+
+    def __init__(
+        self,
+        failure_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        seed: int = 0,
+        label: str = "fault-decider",
+    ):
+        self.failure_rate = _validate_rate("failure_rate", failure_rate)
+        self.timeout_rate = _validate_rate("timeout_rate", timeout_rate)
+        self.seed = seed
+        self.label = label
+        self._rng = random.Random(f"{label}:{seed}")
+        self.injected_failures = 0
+        self.injected_timeouts = 0
+
+    def decide(self) -> tuple[str | None, float]:
+        """One seeded decision: ``(verdict, draw)``.
+
+        ``verdict`` is ``"failure"``, ``"timeout"``, or ``None`` (the
+        call should proceed); ``draw`` is the uniform sample behind it,
+        surfaced so injectors can echo it in error messages.
+        """
+        draw = self._rng.random()
+        if draw < self.failure_rate:
+            self.injected_failures += 1
+            return "failure", draw
+        if draw < self.failure_rate + self.timeout_rate:
+            self.injected_timeouts += 1
+            return "timeout", draw
+        return None, draw
+
+    @property
+    def injected_faults(self) -> int:
+        return self.injected_failures + self.injected_timeouts
+
+
 class FaultyDatabase:
     """A :class:`~repro.db.database.Database` wrapper that injects faults.
 
@@ -294,6 +342,13 @@ class FlakyLLM:
     stub).  Each call may raise an injected :class:`GenerationError`
     (``failure_rate``) or :class:`DeadlineExceededError`
     (``timeout_rate``); otherwise it delegates.
+
+    Thin shim over :class:`FaultDecider` — the provider-protocol
+    injector (:class:`repro.lm.providers.FlakyProvider`) shares the
+    same decision core, so eval-harness chaos and router chaos draw
+    from one rate semantics.  The RNG label and stream are unchanged
+    from the pre-decider implementation: ``(seed, call order)`` still
+    reproduces the same fault sequence byte-for-byte.
     """
 
     def __init__(
@@ -304,24 +359,39 @@ class FlakyLLM:
         seed: int = 0,
     ):
         self._generator = generator
-        self.failure_rate = _validate_rate("failure_rate", failure_rate)
-        self.timeout_rate = _validate_rate("timeout_rate", timeout_rate)
-        self._rng = random.Random(f"flaky-llm:{seed}")
-        self.injected_failures = 0
-        self.injected_timeouts = 0
+        self._decider = FaultDecider(
+            failure_rate=failure_rate,
+            timeout_rate=timeout_rate,
+            seed=seed,
+            label="flaky-llm",
+        )
 
     def __getattr__(self, name: str):
         return getattr(self._generator, name)
 
+    @property
+    def failure_rate(self) -> float:
+        return self._decider.failure_rate
+
+    @property
+    def timeout_rate(self) -> float:
+        return self._decider.timeout_rate
+
+    @property
+    def injected_failures(self) -> int:
+        return self._decider.injected_failures
+
+    @property
+    def injected_timeouts(self) -> int:
+        return self._decider.injected_timeouts
+
     def generate(self, question: str, database, **kwargs):
-        draw = self._rng.random()
-        if draw < self.failure_rate:
-            self.injected_failures += 1
+        verdict, draw = self._decider.decide()
+        if verdict == "failure":
             raise GenerationError(
                 f"injected generation failure (draw={draw:.4f}) for {question[:60]!r}"
             )
-        if draw < self.failure_rate + self.timeout_rate:
-            self.injected_timeouts += 1
+        if verdict == "timeout":
             raise DeadlineExceededError(
                 f"injected generation timeout (draw={draw:.4f}) for {question[:60]!r}",
                 elapsed_s=float("inf"),

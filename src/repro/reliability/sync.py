@@ -1,0 +1,18 @@
+"""Concurrency primitives owned by the reliability layer.
+
+ARCH005 confines ``threading`` imports to ``serving/`` and
+``reliability/`` so concurrency stays auditable in two places.  Code
+elsewhere (e.g. the provider router in :mod:`repro.lm.providers`) that
+needs a lock for counter integrity obtains one through this factory
+instead of importing ``threading`` directly — the primitive's *origin*
+stays inside the audited boundary even when the lock travels.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+def new_lock() -> threading.RLock:
+    """A fresh reentrant lock for callers outside the concurrency zone."""
+    return threading.RLock()

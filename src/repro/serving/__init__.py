@@ -23,6 +23,7 @@ from repro.serving.outcomes import (
     DeadlineShed,
     Failed,
     Overloaded,
+    ProviderShed,
     RateLimited,
     ServeRequest,
     Shed,
@@ -52,6 +53,7 @@ __all__ = [
     "MetricsAggregator",
     "MicroBatchScheduler",
     "Overloaded",
+    "ProviderShed",
     "QueuedRequest",
     "RateLimited",
     "ServeRequest",

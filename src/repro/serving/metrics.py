@@ -49,6 +49,20 @@ class ServerMetrics:
     cache_misses: int
     cache_evictions: int
     stage_wall_s: dict[str, float] = field(default_factory=dict)
+    # -- provider-router observability (empty when the parser has no
+    # router, e.g. test stubs) ----------------------------------------
+    #: Per-provider outcome counters plus breaker snapshots, as plain
+    #: dicts (serving never imports repro.lm.providers — ARCH006).
+    providers: tuple[dict, ...] = ()
+    provider_requests: int = 0
+    provider_failovers: int = 0
+    provider_retries: int = 0
+    hedges_fired: int = 0
+    hedge_wins: int = 0
+    hedge_discarded: int = 0
+    provider_sheds: int = 0
+    #: Per-database breaker snapshots (``BreakerStats.as_dict`` form).
+    database_breakers: tuple[dict, ...] = ()
 
     @property
     def shed_total(self) -> int:
@@ -82,6 +96,39 @@ class ServerMetrics:
                 {"metric": "cache evictions", "value": self.cache_evictions},
             ]
         )
+        if self.provider_requests:
+            rows.extend(
+                [
+                    {"metric": "provider requests", "value": self.provider_requests},
+                    {"metric": "provider failovers", "value": self.provider_failovers},
+                    {"metric": "provider retries", "value": self.provider_retries},
+                    {"metric": "hedges fired", "value": self.hedges_fired},
+                    {"metric": "hedge wins", "value": self.hedge_wins},
+                    {"metric": "hedge discarded", "value": self.hedge_discarded},
+                    {"metric": "provider sheds", "value": self.provider_sheds},
+                ]
+            )
+            for provider in self.providers:
+                breaker = provider.get("breaker", {})
+                rows.append(
+                    {
+                        "metric": f"provider {provider['name']}",
+                        "value": (
+                            f"ok={provider['successes']} "
+                            f"fail={provider['failures']} "
+                            f"breaker={breaker.get('state', '?')}"
+                        ),
+                    }
+                )
+        for breaker in self.database_breakers:
+            rows.append(
+                {
+                    "metric": f"db breaker {breaker['name']}",
+                    "value": (
+                        f"state={breaker['state']} opens={breaker['open_count']}"
+                    ),
+                }
+            )
         return rows
 
 
@@ -133,9 +180,19 @@ class MetricsAggregator:
         self,
         queue_depth: int = 0,
         cache_stats: "list[dict] | None" = None,
+        router_stats: "dict | None" = None,
+        breaker_stats: "list[dict] | None" = None,
     ) -> ServerMetrics:
-        """A frozen snapshot; ``cache_stats`` are per-engine ``StageCache.stats``."""
+        """A frozen snapshot.
+
+        ``cache_stats`` are per-engine ``StageCache.stats``;
+        ``router_stats`` is the provider router's ``stats_dict()``
+        (plain data — serving never imports the providers package);
+        ``breaker_stats`` are per-database ``BreakerStats.as_dict()``
+        snapshots.
+        """
         caches = cache_stats or []
+        router = router_stats or {}
         with self._lock:
             return ServerMetrics(
                 queue_depth=queue_depth,
@@ -161,4 +218,13 @@ class MetricsAggregator:
                     int(stats.get("evictions", 0)) for stats in caches
                 ),
                 stage_wall_s=dict(self._stage_wall_s),
+                providers=tuple(router.get("providers", ())),
+                provider_requests=int(router.get("requests", 0)),
+                provider_failovers=int(router.get("failovers", 0)),
+                provider_retries=int(router.get("retries", 0)),
+                hedges_fired=int(router.get("hedges_fired", 0)),
+                hedge_wins=int(router.get("hedge_wins", 0)),
+                hedge_discarded=int(router.get("hedge_discarded", 0)),
+                provider_sheds=self._shed.get("provider_shed", 0),
+                database_breakers=tuple(breaker_stats or ()),
             )

@@ -89,6 +89,19 @@ class BreakerShed(Shed):
 
 
 @dataclass(frozen=True)
+class ProviderShed(Shed):
+    """Short-circuited: every LM provider's circuit breaker is open.
+
+    Distinct from :class:`BreakerShed` (the *database* breaker): here
+    the request reached the engine but no provider could take the LM
+    call, so the database breaker is not charged — the database did
+    nothing wrong.
+    """
+
+    status: ClassVar[str] = "provider_shed"
+
+
+@dataclass(frozen=True)
 class Failed:
     """The request executed but generation raised a classified error."""
 

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.core.ranking import SENTINEL_SQL
 from repro.engine import StageCache
-from repro.errors import DeadlineExceededError, ReproError
+from repro.errors import AllProvidersOpenError, DeadlineExceededError, ReproError
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.clock import Clock, SYSTEM_CLOCK
 from repro.reliability.deadline import Deadline, ExecutionGuard
@@ -43,6 +43,7 @@ from repro.serving.outcomes import (
     DeadlineShed,
     Failed,
     Overloaded,
+    ProviderShed,
     RateLimited,
     ServeRequest,
 )
@@ -264,6 +265,12 @@ class Server:
                 error=f"{type(exc).__name__}: {exc}",
                 latency_s=self.clock.now() - item.enqueued_at,
             )
+        except AllProvidersOpenError as exc:
+            # No LM provider could take the call — the database did
+            # nothing wrong, so release its breaker probe cleanly and
+            # shed instead of failing.
+            breaker.record_success()
+            return ProviderShed(request=request, reason=str(exc))
         except ReproError as exc:
             breaker.record_failure()
             return Failed(
@@ -325,13 +332,27 @@ class Server:
     # -- observability -------------------------------------------------------
 
     def metrics(self) -> ServerMetrics:
-        """A frozen snapshot of counters, latencies, and cache traffic."""
+        """A frozen snapshot of counters, latencies, and cache traffic.
+
+        Provider-router statistics come in as plain dicts via the
+        parser's duck-typed ``router.stats_dict()`` — serving never
+        imports ``repro.lm.providers`` (ARCH006); stub parsers without
+        a router simply report no provider rows.
+        """
         with self._resources_lock:
             cache_stats = [
                 engine.cache.stats
                 for engine in self._engines.values()
                 if getattr(engine, "cache", None) is not None
             ]
+            breaker_stats = [
+                breaker.stats.as_dict() for breaker in self._breakers.values()
+            ]
+        router = getattr(self.parser, "router", None)
+        router_stats = router.stats_dict() if router is not None else None
         return self.metrics_aggregator.snapshot(
-            queue_depth=self.queue.depth, cache_stats=cache_stats
+            queue_depth=self.queue.depth,
+            cache_stats=cache_stats,
+            router_stats=router_stats,
+            breaker_stats=breaker_stats,
         )

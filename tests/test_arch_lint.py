@@ -21,6 +21,8 @@ def _rules(
     engine_exempt: bool = False,
     pipeline_exempt: bool = False,
     concurrency_exempt: bool = False,
+    provider_exempt: bool = False,
+    provider_banned: bool = False,
 ) -> list[str]:
     return [
         v.rule
@@ -32,6 +34,8 @@ def _rules(
             engine_exempt=engine_exempt,
             pipeline_exempt=pipeline_exempt,
             concurrency_exempt=concurrency_exempt,
+            provider_exempt=provider_exempt,
+            provider_banned=provider_banned,
         )
     ]
 
@@ -199,6 +203,47 @@ class TestConcurrencyRule:
     def test_serving_and_reliability_exempt(self):
         source = "import threading\nfrom queue import Queue\n"
         assert _rules(source, concurrency_exempt=True) == []
+
+
+class TestProviderEncapsulationRule:
+    def test_impl_submodule_import_flagged(self):
+        assert _rules("from repro.lm.providers.router import ProviderRouter\n") == [
+            "ARCH006"
+        ]
+        assert _rules("from repro.lm.providers.sim import FlakyProvider\n") == [
+            "ARCH006"
+        ]
+        assert _rules("import repro.lm.providers.local\n") == ["ARCH006"]
+
+    def test_submodule_spelling_flagged(self):
+        assert _rules("from repro.lm.providers import router\n") == ["ARCH006"]
+
+    def test_package_api_clean_outside_banned_zones(self):
+        # the package facade is the public API (e.g. the CLI uses it).
+        source = "from repro.lm.providers import ProviderRouter, RouterConfig\n"
+        assert _rules(source) == []
+
+    def test_protocol_and_config_submodules_clean(self):
+        # base (protocol) and config (declarative data) are not
+        # implementations — e.g. the parser's typing-only import.
+        assert _rules("from repro.lm.providers.base import Provider\n") == []
+        assert _rules("from repro.lm.providers.config import RouterConfig\n") == []
+
+    def test_everything_banned_in_engine_and_serving(self):
+        # engine/ and serving/ may not touch the package at all.
+        for source in (
+            "from repro.lm.providers import ProviderRouter\n",
+            "from repro.lm.providers.base import Provider\n",
+            "import repro.lm.providers\n",
+        ):
+            assert _rules(source, provider_banned=True) == ["ARCH006"]
+
+    def test_providers_package_and_registry_exempt(self):
+        source = "from repro.lm.providers.router import ProviderRouter\n"
+        assert _rules(source, provider_exempt=True) == []
+
+    def test_lookalike_module_clean(self):
+        assert _rules("import repro.lm.providers_ext\n") == []
 
 
 class TestRepoGate:
