@@ -1,439 +1,64 @@
-#!/usr/bin/env python
-"""Architectural lint for the repro source tree.
+#!/usr/bin/env python3
+"""Architecture lint shim — the real engine is :mod:`repro.staticcheck`.
 
-Six rules, all enforced in tier-1 (see ``tests/test_arch_lint.py``):
+Historically this script carried the rule implementations; they now
+live as registered rules in ``src/repro/staticcheck/rules/`` (ARCH001–
+ARCH006 plus STAGE001/DET001/LOCK001/SUP001), with each rule's
+documentation on the rule class itself — render it with ``--docs`` or
+``repro check --explain RULE``.  This shim keeps the old entry point
+and output format for CI muscle memory::
 
-ARCH001 — raw clock reads.  ``time.time()``, ``time.monotonic()``,
-    ``time.perf_counter()``, ``datetime.now()`` and ``datetime.utcnow()``
-    are forbidden everywhere in ``src/repro/`` except
-    ``reliability/clock.py``.  Timing must flow through the injectable
-    :class:`repro.reliability.clock.Clock` protocol so tests can use
-    ``FakeClock`` instead of sleeping.
+    python scripts/arch_lint.py [root]      # default: src/repro
+    python scripts/arch_lint.py --docs      # render every rule's docs
 
-ARCH002 — blanket exception swallowing.  ``except Exception`` /
-    ``except BaseException`` / bare ``except:`` handlers must either
-    re-raise or classify the failure into the library taxonomy (raise a
-    ``ReproError`` subtype, or record it via a recognised failure sink
-    such as ``failures[...]`` / ``FailureRecord`` / ``classify*``).
-    Anything else silently converts programming errors into wrong
-    results.
-
-ARCH003 — ad-hoc case-insensitive identifier comparison.  Equality
-    comparisons against ``.lower()`` calls (``a.lower() == b.lower()``)
-    outside ``sqlgen/`` and ``analysis/`` are forbidden: SQL identifier
-    identity is owned by ``repro.sqlgen.ast.identifier_key`` /
-    ``ColumnRef.key()`` / ``SchemaCatalog`` lookups.  Scattered
-    ``.lower()`` spellings drift (casefold vs. lower, one side
-    normalized but not the other) and make identifier semantics
-    unauditable.  Normalized-key dict/set *lookups* (``name.lower() in
-    mapping``) are the sanctioned catalog pattern and stay legal.
-
-ARCH004 — engine stage encapsulation.  The staged-inference internals
-    (``repro.engine._stages``) may only be imported inside
-    ``engine/``; everyone else composes pipelines through
-    ``repro.engine.build_default_engine`` or
-    ``CodeSParser.build_engine``.  And no module outside ``core/`` or
-    ``engine/`` may re-implement the inline generation pipeline —
-    detected as importing both of its private ingredients
-    (``repro.core.slotfill`` and ``repro.core.ranking``) in one
-    module.  The decomposition only stays a refactor if exactly one
-    place wires the stages together.
-
-ARCH005 — concurrency containment.  Thread, lock, and queue
-    primitives (``threading``, ``_thread``, ``queue``,
-    ``multiprocessing``, ``concurrent.*``) may only be imported inside
-    ``serving/`` and ``reliability/``.  The engine, the parser, and
-    every model layer stay single-threaded and deterministic; all
-    concurrency lives behind the serving facade where it is tested on
-    a FakeClock.
-
-ARCH006 — provider encapsulation.  LM provider *implementations*
-    (``repro.lm.providers.local`` / ``.sim`` / ``.router``) may only
-    be imported inside ``lm/providers/`` and ``lm/registry.py`` — the
-    registry is the sanctioned construction point
-    (``LMRegistry.router_for``).  And ``engine/`` and ``serving/`` may
-    import nothing from ``repro.lm.providers`` at all (not even the
-    protocol or config): the engine reaches providers through
-    ``parser.router`` and serving reads router statistics as plain
-    dicts, so failover topology can change without touching either
-    layer.
-
-Usage::
-
-    python scripts/arch_lint.py [root]       # default root: src/repro
-
-Exit status is nonzero when violations are found.
+Exit 0 and ``arch_lint: OK (<root>)`` when clean; exit 1 and one
+``path:line: RULE message`` line per violation otherwise.  The
+repo-root ``staticcheck_baseline.json`` is honoured when present, so
+this shim and ``repro check --baseline`` agree.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
-#: module-qualified call targets whose direct use is a raw clock read.
-RAW_CLOCK_CALLS = {
-    ("time", "time"),
-    ("time", "monotonic"),
-    ("time", "perf_counter"),
-    ("time", "perf_counter_ns"),
-    ("time", "monotonic_ns"),
-    ("datetime", "now"),
-    ("datetime", "utcnow"),
-}
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: files (relative to the lint root, posix-style) allowed to read raw clocks.
-CLOCK_ALLOWLIST = ("reliability/clock.py",)
+from repro import staticcheck  # noqa: E402  (path bootstrap above)
 
-#: identifiers whose presence in a handler marks taxonomy classification.
-TAXONOMY_SINKS = ("failures", "FailureRecord", "classify")
-
-#: path prefixes (relative to the lint root) that own identifier
-#: normalization and may compare ``.lower()`` results directly.
-IDENTIFIER_ALLOWLIST_PREFIXES = ("sqlgen/", "analysis/")
-
-#: case-normalizing string methods ARCH003 looks for in comparisons.
-CASE_NORMALIZERS = ("lower", "casefold")
-
-#: the stage-internals module only ``engine/`` may import (ARCH004).
-STAGE_INTERNALS_MODULE = "repro.engine._stages"
-
-#: path prefix (relative to the lint root) that owns the stage internals.
-ENGINE_PREFIX = "engine/"
-
-#: importing ALL of these in one module outside ``core/``/``engine/``
-#: marks an inline re-implementation of the generation pipeline.
-PIPELINE_INGREDIENTS = ("repro.core.slotfill", "repro.core.ranking")
-
-#: path prefixes allowed to compose the pipeline ingredients.
-PIPELINE_ALLOWLIST_PREFIXES = ("core/", ENGINE_PREFIX)
-
-#: top-level modules whose import marks concurrency (ARCH005).
-CONCURRENCY_MODULES = ("threading", "_thread", "queue", "multiprocessing", "concurrent")
-
-#: path prefixes (relative to the lint root) allowed to use concurrency
-#: primitives.
-CONCURRENCY_ALLOWLIST_PREFIXES = ("serving/", "reliability/")
-
-#: the provider package ARCH006 polices.
-PROVIDERS_PACKAGE = "repro.lm.providers"
-
-#: concrete implementation submodules importable only via the registry.
-#: (``base`` and ``config`` are interface/data and stay importable
-#: outside the banned zones; the public package API is always legal
-#: outside them too.)
-PROVIDER_IMPL_MODULES = ("local", "sim", "router")
-
-#: locations allowed to import provider implementation submodules.
-PROVIDER_ALLOWLIST_PREFIXES = ("lm/providers/",)
-PROVIDER_ALLOWLIST_FILES = ("lm/registry.py",)
-
-#: path prefixes that may not import ANYTHING from the provider package.
-PROVIDER_BANNED_PREFIXES = ("engine/", "serving/")
-
-
-@dataclass(frozen=True)
-class Violation:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-def _call_target(node: ast.Call) -> tuple[str, str] | None:
-    """(module-ish, attr) for ``mod.attr(...)`` calls, else None."""
-    func = node.func
-    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-        return (func.value.id, func.attr)
-    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute):
-        # datetime.datetime.now() -> ("datetime", "now")
-        return (func.value.attr, func.attr)
-    return None
-
-
-def _handler_reraises(handler: ast.ExceptHandler) -> bool:
-    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
-
-
-def _handler_classifies(handler: ast.ExceptHandler) -> bool:
-    for node in ast.walk(handler):
-        name = None
-        if isinstance(node, ast.Name):
-            name = node.id
-        elif isinstance(node, ast.Attribute):
-            name = node.attr
-        if name and any(sink in name for sink in TAXONOMY_SINKS):
-            return True
-    return False
-
-
-def _is_blanket(handler: ast.ExceptHandler) -> bool:
-    if handler.type is None:  # bare except:
-        return True
-    node = handler.type
-    if isinstance(node, ast.Tuple):
-        return any(
-            isinstance(item, ast.Name) and item.id in ("Exception", "BaseException")
-            for item in node.elts
-        )
-    return isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
-
-
-def _is_case_normalizer_call(node: ast.expr) -> bool:
-    return (
-        isinstance(node, ast.Call)
-        and not node.args
-        and not node.keywords
-        and isinstance(node.func, ast.Attribute)
-        and node.func.attr in CASE_NORMALIZERS
-    )
-
-
-def _compares_case_normalized(node: ast.Compare) -> bool:
-    """Does an Eq/NotEq comparison have a ``.lower()`` operand?
-
-    Membership tests (``key in mapping``) are excluded: looking up a
-    normalized key in a normalized mapping is the catalog pattern, not
-    an ad-hoc comparison.
-    """
-    if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
-        return False
-    operands = [node.left, *node.comparators]
-    return any(_is_case_normalizer_call(operand) for operand in operands)
-
-
-def _imported_modules(node: ast.AST) -> list[str]:
-    """Module names an Import/ImportFrom node references.
-
-    ``from repro.engine import _stages`` reports both ``repro.engine``
-    and ``repro.engine._stages`` so submodule imports spelled either
-    way are visible to ARCH004.
-    """
-    if isinstance(node, ast.Import):
-        return [alias.name for alias in node.names]
-    if isinstance(node, ast.ImportFrom) and node.module:
-        return [node.module] + [
-            f"{node.module}.{alias.name}" for alias in node.names
-        ]
-    return []
-
-
-def _provider_impl_module(module: str) -> bool:
-    """Is ``module`` (or a name inside) a provider implementation?"""
-    for impl in PROVIDER_IMPL_MODULES:
-        qualified = f"{PROVIDERS_PACKAGE}.{impl}"
-        if module == qualified or module.startswith(qualified + "."):
-            return True
-    return False
-
-
-def lint_source(
-    source: str,
-    path: str,
-    clock_exempt: bool = False,
-    identifier_exempt: bool = False,
-    engine_exempt: bool = False,
-    pipeline_exempt: bool = False,
-    concurrency_exempt: bool = False,
-    provider_exempt: bool = False,
-    provider_banned: bool = False,
-) -> list[Violation]:
-    """Lint one module's source text; ``path`` is used in messages only."""
-    tree = ast.parse(source, filename=path)
-    violations: list[Violation] = []
-    pipeline_imports: dict[str, int] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            modules = _imported_modules(node)
-            if not engine_exempt and any(
-                module == STAGE_INTERNALS_MODULE
-                or module.startswith(STAGE_INTERNALS_MODULE + ".")
-                for module in modules
-            ):
-                violations.append(
-                    Violation(
-                        path=path,
-                        line=node.lineno,
-                        rule="ARCH004",
-                        message=(
-                            "stage internals import (repro.engine._stages) "
-                            "outside engine/; compose pipelines via "
-                            "repro.engine.build_default_engine"
-                        ),
-                    )
-                )
-            if not pipeline_exempt:
-                for module in modules:
-                    for ingredient in PIPELINE_INGREDIENTS:
-                        if module == ingredient or module.startswith(
-                            ingredient + "."
-                        ):
-                            pipeline_imports.setdefault(ingredient, node.lineno)
-            if not provider_exempt:
-                provider_touched = any(
-                    module == PROVIDERS_PACKAGE
-                    or module.startswith(PROVIDERS_PACKAGE + ".")
-                    for module in modules
-                )
-                if provider_banned and provider_touched:
-                    violations.append(
-                        Violation(
-                            path=path,
-                            line=node.lineno,
-                            rule="ARCH006",
-                            message=(
-                                f"{PROVIDERS_PACKAGE} import inside engine/ "
-                                "or serving/; the engine consumes providers "
-                                "via parser.router and serving reads router "
-                                "stats as plain dicts"
-                            ),
-                        )
-                    )
-                elif any(_provider_impl_module(module) for module in modules):
-                    violations.append(
-                        Violation(
-                            path=path,
-                            line=node.lineno,
-                            rule="ARCH006",
-                            message=(
-                                "provider implementation import "
-                                f"({PROVIDERS_PACKAGE}.{{{'|'.join(PROVIDER_IMPL_MODULES)}}}) "
-                                "outside lm/providers/; construct routers "
-                                "via LMRegistry.router_for or the "
-                                "repro.lm.providers package API"
-                            ),
-                        )
-                    )
-            if not concurrency_exempt:
-                for module in modules:
-                    if any(
-                        module == primitive or module.startswith(primitive + ".")
-                        for primitive in CONCURRENCY_MODULES
-                    ):
-                        violations.append(
-                            Violation(
-                                path=path,
-                                line=node.lineno,
-                                rule="ARCH005",
-                                message=(
-                                    f"concurrency primitive import ({module}) "
-                                    "outside serving/ and reliability/; the "
-                                    "engine and model layers stay "
-                                    "single-threaded"
-                                ),
-                            )
-                        )
-                        break
-        if (
-            isinstance(node, ast.Compare)
-            and not identifier_exempt
-            and _compares_case_normalized(node)
-        ):
-            violations.append(
-                Violation(
-                    path=path,
-                    line=node.lineno,
-                    rule="ARCH003",
-                    message=(
-                        "ad-hoc .lower() identifier comparison; route "
-                        "through repro.sqlgen.ast.identifier_key / "
-                        "ColumnRef.key() / SchemaCatalog lookups"
-                    ),
-                )
-            )
-        if isinstance(node, ast.Call) and not clock_exempt:
-            target = _call_target(node)
-            if target in RAW_CLOCK_CALLS:
-                violations.append(
-                    Violation(
-                        path=path,
-                        line=node.lineno,
-                        rule="ARCH001",
-                        message=(
-                            f"raw clock call {target[0]}.{target[1]}(); "
-                            "inject repro.reliability.clock.Clock instead"
-                        ),
-                    )
-                )
-        elif isinstance(node, ast.ExceptHandler) and _is_blanket(node):
-            if not (_handler_reraises(node) or _handler_classifies(node)):
-                violations.append(
-                    Violation(
-                        path=path,
-                        line=node.lineno,
-                        rule="ARCH002",
-                        message=(
-                            "blanket except swallows errors; re-raise or "
-                            "classify into the failure taxonomy"
-                        ),
-                    )
-                )
-    if len(pipeline_imports) == len(PIPELINE_INGREDIENTS):
-        violations.append(
-            Violation(
-                path=path,
-                line=max(pipeline_imports.values()),
-                rule="ARCH004",
-                message=(
-                    "imports every private pipeline ingredient "
-                    f"({', '.join(PIPELINE_INGREDIENTS)}); the inline "
-                    "generation pipeline is wired only in core/ and "
-                    "engine/ — go through the staged engine"
-                ),
-            )
-        )
-    return violations
-
-
-def lint_tree(root: Path) -> list[Violation]:
-    """Lint every ``.py`` file under ``root``."""
-    violations: list[Violation] = []
-    for path in sorted(root.rglob("*.py")):
-        relative = path.relative_to(root).as_posix()
-        violations.extend(
-            lint_source(
-                path.read_text(encoding="utf-8"),
-                relative,
-                clock_exempt=relative in CLOCK_ALLOWLIST,
-                identifier_exempt=relative.startswith(
-                    IDENTIFIER_ALLOWLIST_PREFIXES
-                ),
-                engine_exempt=relative.startswith(ENGINE_PREFIX),
-                pipeline_exempt=relative.startswith(
-                    PIPELINE_ALLOWLIST_PREFIXES
-                ),
-                concurrency_exempt=relative.startswith(
-                    CONCURRENCY_ALLOWLIST_PREFIXES
-                ),
-                provider_exempt=(
-                    relative.startswith(PROVIDER_ALLOWLIST_PREFIXES)
-                    or relative in PROVIDER_ALLOWLIST_FILES
-                ),
-                provider_banned=relative.startswith(PROVIDER_BANNED_PREFIXES),
-            )
-        )
-    return violations
+BASELINE_PATH = REPO_ROOT / "staticcheck_baseline.json"
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src" / "repro"
-    if not root.is_dir():
-        print(f"arch_lint: no such directory {root}", file=sys.stderr)
-        return 2
-    violations = lint_tree(root)
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"arch_lint: {len(violations)} violation(s)")
-        return 1
-    print(f"arch_lint: OK ({root})")
-    return 0
+    if argv and argv[0] in ("--docs", "-d"):
+        print(staticcheck.REGISTRY.render_docs())
+        return 0
+    root = Path(argv[0]) if argv else REPO_ROOT / "src" / "repro"
+    baseline = (
+        staticcheck.load_baseline(BASELINE_PATH)
+        if BASELINE_PATH.exists()
+        else None
+    )
+    result = staticcheck.check_tree(root, baseline=baseline)
+    if result.ok():
+        print(f"arch_lint: OK ({root})")
+        return 0
+    for finding in result.findings:
+        print(finding.render())
+    for entry in result.stale_baseline:
+        print(
+            f"{entry.path}: stale baseline entry {entry.rule} "
+            f"({entry.fingerprint}); remove it from {BASELINE_PATH.name}"
+        )
+    total = len(result.findings) + len(result.stale_baseline)
+    print(f"arch_lint: {total} violation(s)")
+    return 1
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `arch_lint.py --docs | head`
+        sys.exit(0)

@@ -11,6 +11,8 @@ Subcommands::
     repro equiv --dataset spider            # duplicate-ratio / verdict report
     repro serve --dataset spider < requests.jsonl   # one-shot JSONL serving
     repro loadgen --dataset spider --seed 7 # seeded open-loop load report
+    repro check                             # static analysis over src/repro
+    repro check --explain STAGE001          # show one rule's documentation
 
 Everything runs offline and deterministically.
 """
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis import (
@@ -511,6 +514,57 @@ def _cmd_providers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the staticcheck rule engine over a source tree.
+
+    Imported lazily so the (pure-stdlib, but sizeable) rule registry
+    only loads for this subcommand.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro import staticcheck
+
+    if args.list:
+        for rule_id in staticcheck.REGISTRY.ids():
+            rule_cls = staticcheck.REGISTRY.get(rule_id)
+            print(f"{rule_id}  ({rule_cls.severity})  {rule_cls.title}")
+        return 0
+    if args.explain:
+        print(staticcheck.REGISTRY.explain(args.explain))
+        return 0
+
+    root = Path(args.root) if args.root else Path(repro.__file__).parent
+    rule_ids = args.rules.split(",") if args.rules else None
+
+    baseline = None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is not None and baseline_path.exists() and not args.write_baseline:
+        baseline = staticcheck.load_baseline(baseline_path)
+
+    result = staticcheck.check_tree(root, rule_ids=rule_ids, baseline=baseline)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            sys.exit("--write-baseline requires --baseline PATH")
+        staticcheck.save_baseline(
+            staticcheck.Baseline.from_findings(result.findings), baseline_path
+        )
+        print(
+            f"wrote {len(result.findings)} grandfathered finding(s) "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(staticcheck.render_json(result))
+    elif args.format == "sarif":
+        print(staticcheck.render_sarif(result))
+    else:
+        print(staticcheck.render_text(result))
+    return 0 if result.ok() else 1
+
+
 def _add_reliability_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--deadline-s", type=float, default=None,
@@ -710,12 +764,51 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "negative disables hedging",
     )
     providers_parser.set_defaults(func=_cmd_providers)
+
+    check_parser = sub.add_parser(
+        "check", help="run the staticcheck rule engine over a source tree"
+    )
+    check_parser.add_argument(
+        "--root", default=None,
+        help="tree to check (default: the installed repro package)",
+    )
+    check_parser.add_argument(
+        "--format", default="text", choices=("text", "json", "sarif"),
+    )
+    check_parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    check_parser.add_argument(
+        "--baseline", default=None,
+        help="JSON baseline file of grandfathered findings",
+    )
+    check_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to --baseline instead of failing",
+    )
+    check_parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print one rule's documentation and exit",
+    )
+    check_parser.add_argument(
+        "--list", action="store_true",
+        help="list registered rules and exit",
+    )
+    check_parser.set_defaults(func=_cmd_check)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # e.g. `repro check --explain RULE | head` — the reader closed
+        # stdout; exit quietly instead of tracebacking.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

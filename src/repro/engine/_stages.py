@@ -5,23 +5,38 @@ Everything else consumes stages through
 :func:`repro.engine.build_default_engine`.
 
 Execution order and contracts over the shared
-:class:`~repro.engine.context.InferenceContext` (reads → writes):
+:class:`~repro.engine.context.InferenceContext`.  Each stage class
+declares ``reads`` / ``writes`` tuples; the STAGE001 rule in
+``repro.staticcheck`` verifies them against the actual ``ctx``
+attribute accesses, and the table below is rendered from the
+declarations by :func:`contract_table` (a tier-1 test pins the two
+together — edit the tuples, then regenerate this block)::
 
-==============  ==========================================  =======================================
-stage           reads                                       writes
-==============  ==========================================  =======================================
-value_retrieve  question, external_knowledge                linking_question, builder, matched
-schema_link     linking_question, matched, builder          filtered, schema, scores
-prompt_build    filtered, matched, schema, scores           prompt, inst_ctx
-candidate_gen   question, demonstrations, inst_ctx          templates, raw_candidates
-rank            raw_candidates, question, matched, degrade  candidates, beam
-lint_gate       beam                                        analyzer, ordered, lint, demoted
-equiv_dedup     ordered, analyzer                           estimator, groups, representatives,
-                                                            beam_deduped
-execute_beam    groups, representatives, database           chosen, tier, executions_used,
-                                                            executed, dedup_avoided
-degrade         chosen, degrade, inst_ctx, beam, demoted    chosen, tier, executions_avoided
-==============  ==========================================  =======================================
+    value_retrieve  reads:  question, external_knowledge, database
+                    writes: linking_question, builder, matched
+    schema_link     reads:  question, linking_question, matched, builder, database
+                    writes: filtered, schema, scores
+    prompt_build    reads:  question, builder, filtered, matched, schema, scores
+                    writes: prompt, inst_ctx
+    candidate_gen   reads:  question, demonstrations, effort, inst_ctx
+                    writes: templates, raw_candidates
+    rank            reads:  question, effort, raw_candidates, matched, scores, degrade, database
+                    writes: candidates, beam
+    lint_gate       reads:  beam, database
+                    writes: analyzer, ordered, lint, demoted
+    equiv_dedup     reads:  ordered, analyzer, database
+                    writes: analyzer, estimator, groups, representatives, beam_deduped
+    execute_beam    reads:  groups, representatives, ordered, beam_deduped, database
+                    writes: chosen, tier, executions_used, executed, dedup_avoided
+    degrade         reads:  chosen, tier, degrade, inst_ctx, beam, demoted, ordered, executed, dedup_avoided, database
+                    writes: chosen, tier, executions_avoided
+
+``database`` appears in most read sets because the per-database memo
+helpers key their caches on ``id(ctx.database)``; ``ctx.cache`` and
+``ctx.trace`` are engine plumbing and ambient (never declared).
+Reading your own write (``degrade`` re-reading ``chosen``) needs no
+read declaration unless, as for ``degrade``, the *incoming* value from
+an earlier stage is itself an input.
 
 ``value_retrieve`` runs before ``schema_link`` because the §6.1 schema
 filter *consumes* the §6.2 matched values (Algorithm 1 does the same);
@@ -192,6 +207,8 @@ class ValueRetrieveStage(_ParserStage):
     """
 
     name = "value_retrieve"
+    reads = ("question", "external_knowledge", "database")
+    writes = ("linking_question", "builder", "matched")
 
     def run(self, ctx: InferenceContext) -> None:
         parser = self.parser
@@ -224,6 +241,8 @@ class SchemaLinkStage(_ParserStage):
     """
 
     name = "schema_link"
+    reads = ("question", "linking_question", "matched", "builder", "database")
+    writes = ("filtered", "schema", "scores")
 
     def run(self, ctx: InferenceContext) -> None:
         parser = self.parser
@@ -256,6 +275,8 @@ class PromptBuildStage(_ParserStage):
     """Serialize the database prompt (§6.3) and seed slot filling."""
 
     name = "prompt_build"
+    reads = ("question", "builder", "filtered", "matched", "schema", "scores")
+    writes = ("prompt", "inst_ctx")
 
     def run(self, ctx: InferenceContext) -> None:
         parser = self.parser
@@ -294,6 +315,8 @@ class CandidateGenStage(_ParserStage):
     """
 
     name = "candidate_gen"
+    reads = ("question", "demonstrations", "effort", "inst_ctx")
+    writes = ("templates", "raw_candidates")
 
     def run(self, ctx: InferenceContext) -> None:
         if ctx.effort != "full":
@@ -345,6 +368,8 @@ class RankStage(_ParserStage):
     and cut the beam."""
 
     name = "rank"
+    reads = ("question", "effort", "raw_candidates", "matched", "scores", "degrade", "database")
+    writes = ("candidates", "beam")
 
     def run(self, ctx: InferenceContext) -> None:
         if ctx.effort != "full":
@@ -399,6 +424,8 @@ class LintGateStage(_ParserStage):
     """
 
     name = "lint_gate"
+    reads = ("beam", "database")
+    writes = ("analyzer", "ordered", "lint", "demoted")
 
     def run(self, ctx: InferenceContext) -> None:
         parser = self.parser
@@ -431,6 +458,8 @@ class EquivDedupStage(_ParserStage):
     """
 
     name = "equiv_dedup"
+    reads = ("ordered", "analyzer", "database")
+    writes = ("analyzer", "estimator", "groups", "representatives", "beam_deduped")
 
     def run(self, ctx: InferenceContext) -> None:
         parser = self.parser
@@ -475,6 +504,8 @@ class ExecuteBeamStage(_ParserStage):
     """Execution-guided selection (§9.1.4): first class that executes wins."""
 
     name = "execute_beam"
+    reads = ("groups", "representatives", "ordered", "beam_deduped", "database")
+    writes = ("chosen", "tier", "executions_used", "executed", "dedup_avoided")
 
     def run(self, ctx: InferenceContext) -> None:
         ctx.chosen = None
@@ -510,6 +541,8 @@ class DegradeStage(_ParserStage):
     """
 
     name = "degrade"
+    reads = ("chosen", "tier", "degrade", "inst_ctx", "beam", "demoted", "ordered", "executed", "dedup_avoided", "database")
+    writes = ("chosen", "tier", "executions_avoided")
 
     def run(self, ctx: InferenceContext) -> None:
         parser = self.parser
@@ -558,6 +591,22 @@ DEFAULT_STAGE_CLASSES = (
     ExecuteBeamStage,
     DegradeStage,
 )
+
+
+def contract_table() -> str:
+    """The module-docstring contract block, rendered from declarations.
+
+    Single source of truth is the ``reads`` / ``writes`` class
+    attributes; a tier-1 test asserts this rendering appears verbatim
+    in the module docstring so the prose can never drift from the
+    checked contracts again.
+    """
+    width = max(len(cls.name) for cls in DEFAULT_STAGE_CLASSES)
+    lines = []
+    for cls in DEFAULT_STAGE_CLASSES:
+        lines.append(f"{cls.name:<{width}}  reads:  {', '.join(cls.reads)}")
+        lines.append(f"{'':<{width}}  writes: {', '.join(cls.writes)}")
+    return "\n".join(lines)
 
 
 def default_stages(parser: "CodeSParser"):

@@ -84,7 +84,10 @@ class BM25Index:
             return []
         scores: dict[int, float] = defaultdict(float)
         avg_len = self.average_length or 1.0
-        for token in set(sentence_tokens(query)):
+        # dict.fromkeys dedupes in first-occurrence order, so the float
+        # summation order (and thus the scores) is independent of
+        # PYTHONHASHSEED (DET001).
+        for token in dict.fromkeys(sentence_tokens(query)):
             idf = self._idf(token)
             if idf == 0.0:
                 continue

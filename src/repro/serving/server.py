@@ -204,7 +204,11 @@ class Server:
             engine = self._engine_for(batch.db_id)
             breaker = self._breaker_for(batch.db_id)
             for item in batch.items:
-                outcome = self._execute_one(item, batch.tier, engine, breaker)
+                # Holding the db lock across execution (service-model
+                # sleeps, provider generate) IS the serialization this
+                # method exists to provide — per-database batches must
+                # not interleave on a shared warm engine.
+                outcome = self._execute_one(item, batch.tier, engine, breaker)  # staticcheck: disable=LOCK001
                 self.metrics_aggregator.record(outcome)
                 outcomes.append(outcome)
         return outcomes

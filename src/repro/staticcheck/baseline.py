@@ -1,0 +1,130 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry matches findings by line-independent fingerprint
+(``rule | path | message``), so grandfathered findings survive
+unrelated edits but *expire* the moment the offending code goes away:
+an entry with no matching finding is reported as stale and fails the
+check until it is deleted (or ``--write-baseline`` regenerates the
+file).  Matching honours multiplicity — two identical findings need
+two entries; baselining one leaves the other active.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.staticcheck.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding; ``note`` records the justification."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    note: str = ""
+
+    def render(self) -> str:
+        suffix = f" ({self.note})" if self.note else ""
+        return f"{self.path}: {self.rule} {self.fingerprint}{suffix}"
+
+
+class Baseline:
+    """The set of grandfathered findings, with multiplicity."""
+
+    def __init__(self, entries: tuple[BaselineEntry, ...] = ()):
+        self.entries = tuple(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def match(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (active, baselined) and report stale entries."""
+        budget = Counter(
+            (entry.rule, entry.path, entry.fingerprint) for entry in self.entries
+        )
+        active: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(replace(finding, baselined=True))
+            else:
+                active.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if budget.get((entry.rule, entry.path, entry.fingerprint), 0) > 0
+        ]
+        # Multiple identical stale entries each report once.
+        seen: Counter = Counter()
+        deduped_stale: list[BaselineEntry] = []
+        for entry in stale:
+            key = (entry.rule, entry.path, entry.fingerprint)
+            if seen[key] < budget[key]:
+                seen[key] += 1
+                deduped_stale.append(entry)
+        return active, baselined, deduped_stale
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], note: str = "") -> "Baseline":
+        return cls(
+            tuple(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    fingerprint=finding.fingerprint,
+                    note=note or finding.message,
+                )
+                for finding in sorted(findings, key=Finding.sort_key)
+            )
+        )
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version {payload.get('version')!r}"
+        )
+    return Baseline(
+        tuple(
+            BaselineEntry(
+                rule=entry["rule"],
+                path=entry["path"],
+                fingerprint=entry["fingerprint"],
+                note=entry.get("note", ""),
+            )
+            for entry in payload.get("entries", [])
+        )
+    )
+
+
+def save_baseline(baseline: Baseline, path: str | Path) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "fingerprint": entry.fingerprint,
+                "note": entry.note,
+            }
+            for entry in sorted(
+                baseline.entries,
+                key=lambda e: (e.path, e.rule, e.fingerprint),
+            )
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,406 @@
+"""ARCH001–ARCH006: the architectural rules, on real AST visitors.
+
+Ported from the original ``scripts/arch_lint.py`` core (that script is
+now a shim over this registry).  The port closes the old
+false-negative classes: import aliases (``import time as t``),
+from-imports of clock functions, and multiline call spellings all
+resolve through :class:`~repro.staticcheck.rules._util.ImportTable`
+instead of matching surface receiver names.
+
+Path-based exemptions live on each rule (``reliability/clock.py`` for
+ARCH001, ``sqlgen/``/``analysis/`` for ARCH003, …) and key off the
+module path relative to the check root.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.module import ModuleContext
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.rules._util import (
+    ImportTable,
+    imported_modules,
+    module_matches,
+)
+
+
+@register
+class RawClockRule(Rule):
+    """Raw clock reads.
+
+    ``time.time()``, ``time.monotonic()``, ``time.perf_counter()``,
+    ``datetime.now()`` and ``datetime.utcnow()`` are forbidden
+    everywhere in ``src/repro/`` except ``reliability/clock.py``.
+    Timing must flow through the injectable
+    :class:`repro.reliability.clock.Clock` protocol so tests can use
+    ``FakeClock`` instead of sleeping.  Detection is alias-aware:
+    ``import time as t; t.time()`` and ``from time import monotonic``
+    are both caught.
+    """
+
+    id = "ARCH001"
+    severity = "error"
+    title = "raw clock reads outside reliability/clock.py"
+
+    #: files (relative to the check root) allowed to read raw clocks.
+    ALLOWLIST = ("reliability/clock.py",)
+
+    #: qualified call targets that are raw clock reads.
+    RAW_CLOCK_CALLS = frozenset(
+        {
+            "time.time",
+            "time.monotonic",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic_ns",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+        }
+    )
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        if module.path in self.ALLOWLIST:
+            return []
+        imports = ImportTable.from_tree(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved in self.RAW_CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"raw clock call {resolved}(); inject "
+                        "repro.reliability.clock.Clock instead",
+                    )
+                )
+        return findings
+
+
+@register
+class BlanketExceptRule(Rule):
+    """Blanket exception swallowing.
+
+    ``except Exception`` / ``except BaseException`` / bare ``except:``
+    handlers must either re-raise or classify the failure into the
+    library taxonomy (raise a ``ReproError`` subtype, or record it via
+    a recognised failure sink such as ``failures[...]`` /
+    ``FailureRecord`` / ``classify*``).  Anything else silently
+    converts programming errors into wrong results.
+    """
+
+    id = "ARCH002"
+    severity = "error"
+    title = "blanket except without re-raise or taxonomy classification"
+
+    #: identifiers whose presence in a handler marks classification.
+    TAXONOMY_SINKS = ("failures", "FailureRecord", "classify")
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and self._is_blanket(node):
+                if not (self._reraises(node) or self._classifies(node)):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "blanket except swallows errors; re-raise or "
+                            "classify into the failure taxonomy",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_blanket(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:  # bare except:
+            return True
+        node = handler.type
+        if isinstance(node, ast.Tuple):
+            return any(
+                isinstance(item, ast.Name)
+                and item.id in ("Exception", "BaseException")
+                for item in node.elts
+            )
+        return isinstance(node, ast.Name) and node.id in (
+            "Exception",
+            "BaseException",
+        )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+    def _classifies(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name and any(sink in name for sink in self.TAXONOMY_SINKS):
+                return True
+        return False
+
+
+@register
+class LowerComparisonRule(Rule):
+    """Ad-hoc case-insensitive identifier comparison.
+
+    Equality comparisons against ``.lower()`` / ``.casefold()`` calls
+    (``a.lower() == b.lower()``) outside ``sqlgen/`` and ``analysis/``
+    are forbidden: SQL identifier identity is owned by
+    ``repro.sqlgen.ast.identifier_key`` / ``ColumnRef.key()`` /
+    ``SchemaCatalog`` lookups.  Scattered ``.lower()`` spellings drift
+    (casefold vs. lower, one side normalized but not the other) and
+    make identifier semantics unauditable.  Normalized-key dict/set
+    *lookups* (``name.lower() in mapping``) are the sanctioned catalog
+    pattern and stay legal.
+    """
+
+    id = "ARCH003"
+    severity = "error"
+    title = "ad-hoc .lower() identifier comparison outside sqlgen/analysis"
+
+    #: path prefixes that own identifier normalization.
+    ALLOWLIST_PREFIXES = ("sqlgen/", "analysis/")
+
+    #: case-normalizing string methods the rule looks for.
+    CASE_NORMALIZERS = ("lower", "casefold")
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        if module.path.startswith(self.ALLOWLIST_PREFIXES):
+            return []
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare) and self._compares_normalized(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "ad-hoc .lower() identifier comparison; route "
+                        "through repro.sqlgen.ast.identifier_key / "
+                        "ColumnRef.key() / SchemaCatalog lookups",
+                    )
+                )
+        return findings
+
+    def _is_normalizer_call(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and not node.args
+            and not node.keywords
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self.CASE_NORMALIZERS
+        )
+
+    def _compares_normalized(self, node: ast.Compare) -> bool:
+        # Membership tests (``key in mapping``) are excluded: looking
+        # up a normalized key in a normalized mapping is the catalog
+        # pattern, not an ad-hoc comparison.
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return False
+        operands = [node.left, *node.comparators]
+        return any(self._is_normalizer_call(operand) for operand in operands)
+
+
+@register
+class EngineEncapsulationRule(Rule):
+    """Engine stage encapsulation.
+
+    The staged-inference internals (``repro.engine._stages``) may only
+    be imported inside ``engine/``; everyone else composes pipelines
+    through ``repro.engine.build_default_engine`` or
+    ``CodeSParser.build_engine``.  And no module outside ``core/`` or
+    ``engine/`` may re-implement the inline generation pipeline —
+    detected as importing both of its private ingredients
+    (``repro.core.slotfill`` and ``repro.core.ranking``) in one
+    module.  The decomposition only stays a refactor if exactly one
+    place wires the stages together.
+    """
+
+    id = "ARCH004"
+    severity = "error"
+    title = "engine stage internals / inline pipeline encapsulation"
+
+    STAGE_INTERNALS_MODULE = "repro.engine._stages"
+    ENGINE_PREFIX = "engine/"
+    PIPELINE_INGREDIENTS = ("repro.core.slotfill", "repro.core.ranking")
+    PIPELINE_ALLOWLIST_PREFIXES = ("core/", "engine/")
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings = []
+        engine_exempt = module.path.startswith(self.ENGINE_PREFIX)
+        pipeline_exempt = module.path.startswith(
+            self.PIPELINE_ALLOWLIST_PREFIXES
+        )
+        pipeline_imports: dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            modules = imported_modules(node)
+            if not engine_exempt and any(
+                module_matches(name, self.STAGE_INTERNALS_MODULE)
+                for name in modules
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "stage internals import (repro.engine._stages) "
+                        "outside engine/; compose pipelines via "
+                        "repro.engine.build_default_engine",
+                    )
+                )
+            if not pipeline_exempt:
+                for name in modules:
+                    for ingredient in self.PIPELINE_INGREDIENTS:
+                        if module_matches(name, ingredient):
+                            pipeline_imports.setdefault(ingredient, node.lineno)
+        if len(pipeline_imports) == len(self.PIPELINE_INGREDIENTS):
+            from repro.staticcheck.findings import SourceSpan
+
+            findings.append(
+                self.finding(
+                    module,
+                    SourceSpan(line=max(pipeline_imports.values())),
+                    "imports every private pipeline ingredient "
+                    f"({', '.join(self.PIPELINE_INGREDIENTS)}); the inline "
+                    "generation pipeline is wired only in core/ and "
+                    "engine/ — go through the staged engine",
+                )
+            )
+        return findings
+
+
+@register
+class ConcurrencyContainmentRule(Rule):
+    """Concurrency containment.
+
+    Thread, lock, and queue primitives (``threading``, ``_thread``,
+    ``queue``, ``multiprocessing``, ``concurrent.*``) may only be
+    imported inside ``serving/`` and ``reliability/``.  The engine,
+    the parser, and every model layer stay single-threaded and
+    deterministic; all concurrency lives behind the serving facade
+    where it is tested on a FakeClock.
+    """
+
+    id = "ARCH005"
+    severity = "error"
+    title = "concurrency primitives outside serving/ and reliability/"
+
+    CONCURRENCY_MODULES = (
+        "threading",
+        "_thread",
+        "queue",
+        "multiprocessing",
+        "concurrent",
+    )
+    ALLOWLIST_PREFIXES = ("serving/", "reliability/")
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        if module.path.startswith(self.ALLOWLIST_PREFIXES):
+            return []
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for name in imported_modules(node):
+                if any(
+                    module_matches(name, primitive)
+                    for primitive in self.CONCURRENCY_MODULES
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"concurrency primitive import ({name}) "
+                            "outside serving/ and reliability/; the "
+                            "engine and model layers stay "
+                            "single-threaded",
+                        )
+                    )
+                    break
+        return findings
+
+
+@register
+class ProviderEncapsulationRule(Rule):
+    """Provider encapsulation.
+
+    LM provider *implementations* (``repro.lm.providers.local`` /
+    ``.sim`` / ``.router``) may only be imported inside
+    ``lm/providers/`` and ``lm/registry.py`` — the registry is the
+    sanctioned construction point (``LMRegistry.router_for``).  And
+    ``engine/`` and ``serving/`` may import nothing from
+    ``repro.lm.providers`` at all (not even the protocol or config):
+    the engine reaches providers through ``parser.router`` and serving
+    reads router statistics as plain dicts, so failover topology can
+    change without touching either layer.
+    """
+
+    id = "ARCH006"
+    severity = "error"
+    title = "provider implementation imports outside the registry"
+
+    PROVIDERS_PACKAGE = "repro.lm.providers"
+    #: concrete implementation submodules importable only via the
+    #: registry (``base`` and ``config`` are interface/data).
+    IMPL_MODULES = ("local", "sim", "router")
+    ALLOWLIST_PREFIXES = ("lm/providers/",)
+    ALLOWLIST_FILES = ("lm/registry.py",)
+    BANNED_PREFIXES = ("engine/", "serving/")
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        if (
+            module.path.startswith(self.ALLOWLIST_PREFIXES)
+            or module.path in self.ALLOWLIST_FILES
+        ):
+            return []
+        banned = module.path.startswith(self.BANNED_PREFIXES)
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            modules = imported_modules(node)
+            touched = any(
+                module_matches(name, self.PROVIDERS_PACKAGE)
+                for name in modules
+            )
+            if banned and touched:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{self.PROVIDERS_PACKAGE} import inside engine/ "
+                        "or serving/; the engine consumes providers via "
+                        "parser.router and serving reads router stats "
+                        "as plain dicts",
+                    )
+                )
+            elif any(self._impl_module(name) for name in modules):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "provider implementation import "
+                        f"({self.PROVIDERS_PACKAGE}."
+                        f"{{{'|'.join(self.IMPL_MODULES)}}}) outside "
+                        "lm/providers/; construct routers via "
+                        "LMRegistry.router_for or the "
+                        "repro.lm.providers package API",
+                    )
+                )
+        return findings
+
+    def _impl_module(self, name: str) -> bool:
+        return any(
+            module_matches(name, f"{self.PROVIDERS_PACKAGE}.{impl}")
+            for impl in self.IMPL_MODULES
+        )

@@ -1,8 +1,19 @@
-"""Architectural lint (scripts/arch_lint.py) — rules + repo-wide gate."""
+"""Architectural rules (repro.staticcheck) — rules + repo-wide gate.
+
+The old ``scripts/arch_lint.py`` kwarg-based exemptions became
+path-based rule scoping: passing ``path="reliability/clock.py"`` to
+:func:`repro.staticcheck.check_source` exercises the ARCH001
+allowlist the same way the tree walk does.
+"""
 
 import importlib.util
+import json
+import os
+import subprocess
 import sys
 from pathlib import Path
+
+from repro.staticcheck import check_source, check_tree, load_baseline
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -14,30 +25,8 @@ sys.modules["arch_lint"] = arch_lint
 _spec.loader.exec_module(arch_lint)
 
 
-def _rules(
-    source: str,
-    clock_exempt: bool = False,
-    identifier_exempt: bool = False,
-    engine_exempt: bool = False,
-    pipeline_exempt: bool = False,
-    concurrency_exempt: bool = False,
-    provider_exempt: bool = False,
-    provider_banned: bool = False,
-) -> list[str]:
-    return [
-        v.rule
-        for v in arch_lint.lint_source(
-            source,
-            "mod.py",
-            clock_exempt=clock_exempt,
-            identifier_exempt=identifier_exempt,
-            engine_exempt=engine_exempt,
-            pipeline_exempt=pipeline_exempt,
-            concurrency_exempt=concurrency_exempt,
-            provider_exempt=provider_exempt,
-            provider_banned=provider_banned,
-        )
-    ]
+def _rules(source: str, path: str = "mod.py") -> list[str]:
+    return [finding.rule for finding in check_source(source, path=path)]
 
 
 class TestRawClockRule:
@@ -54,6 +43,23 @@ class TestRawClockRule:
         source = "import datetime\nnow = datetime.datetime.now()\n"
         assert _rules(source) == ["ARCH001"]
 
+    def test_aliased_import_flagged(self):
+        # the old regex-era check keyed on the receiver being literally
+        # "time"; the ImportTable resolves aliases.
+        assert _rules("import time as t\nstart = t.time()\n") == ["ARCH001"]
+
+    def test_from_import_flagged(self):
+        source = "from time import monotonic\nt = monotonic()\n"
+        assert _rules(source) == ["ARCH001"]
+
+    def test_from_import_datetime_flagged(self):
+        source = "from datetime import datetime\nnow = datetime.now()\n"
+        assert _rules(source) == ["ARCH001"]
+
+    def test_multiline_call_flagged(self):
+        source = "import time\nt = time.perf_counter(\n)\n"
+        assert _rules(source) == ["ARCH001"]
+
     def test_clock_protocol_usage_clean(self):
         source = (
             "from repro.reliability.clock import SYSTEM_CLOCK\n"
@@ -62,13 +68,18 @@ class TestRawClockRule:
         assert _rules(source) == []
 
     def test_clock_module_exempt(self):
-        assert _rules("import time\nt = time.monotonic()\n", clock_exempt=True) == []
+        source = "import time\nt = time.monotonic()\n"
+        assert _rules(source, path="reliability/clock.py") == []
 
     def test_unrelated_attribute_call_clean(self):
-        # the linter keys on the receiver name, so `obj.time()` and
-        # `clockwork.perf_counter()` do not trip ARCH001.
+        # `obj.time()` resolves to "obj.time", not the time module.
         assert _rules("value = obj.time()\n") == []
         assert _rules("t = clockwork.perf_counter()\n") == []
+
+    def test_local_shadowing_is_not_the_clock(self):
+        # a local callable named monotonic without the import is not
+        # time.monotonic.
+        assert _rules("t = monotonic()\n") == []
 
 
 class TestBlanketExceptRule:
@@ -129,7 +140,8 @@ class TestLowerComparisonRule:
 
     def test_identifier_owners_exempt(self):
         source = "ok = a.lower() == b.lower()\n"
-        assert _rules(source, identifier_exempt=True) == []
+        assert _rules(source, path="sqlgen/mod.py") == []
+        assert _rules(source, path="analysis/mod.py") == []
 
     def test_identifier_key_usage_clean(self):
         source = (
@@ -157,7 +169,7 @@ class TestEngineEncapsulationRule:
 
     def test_engine_package_exempt(self):
         source = "from repro.engine._stages import default_stages\n"
-        assert _rules(source, engine_exempt=True) == []
+        assert _rules(source, path="engine/mod.py") == []
 
     def test_pipeline_reimplementation_flagged(self):
         source = (
@@ -176,7 +188,8 @@ class TestEngineEncapsulationRule:
             "from repro.core.slotfill import instantiate_template\n"
             "from repro.core.ranking import lint_gated_order\n"
         )
-        assert _rules(source, pipeline_exempt=True) == []
+        assert _rules(source, path="core/mod.py") == []
+        assert _rules(source, path="engine/mod.py") == []
 
 
 class TestConcurrencyRule:
@@ -202,7 +215,8 @@ class TestConcurrencyRule:
 
     def test_serving_and_reliability_exempt(self):
         source = "import threading\nfrom queue import Queue\n"
-        assert _rules(source, concurrency_exempt=True) == []
+        assert _rules(source, path="serving/mod.py") == []
+        assert _rules(source, path="reliability/mod.py") == []
 
 
 class TestProviderEncapsulationRule:
@@ -236,21 +250,59 @@ class TestProviderEncapsulationRule:
             "from repro.lm.providers.base import Provider\n",
             "import repro.lm.providers\n",
         ):
-            assert _rules(source, provider_banned=True) == ["ARCH006"]
+            assert _rules(source, path="engine/mod.py") == ["ARCH006"]
+            assert _rules(source, path="serving/mod.py") == ["ARCH006"]
 
     def test_providers_package_and_registry_exempt(self):
         source = "from repro.lm.providers.router import ProviderRouter\n"
-        assert _rules(source, provider_exempt=True) == []
+        assert _rules(source, path="lm/providers/mod.py") == []
+        assert _rules(source, path="lm/registry.py") == []
 
     def test_lookalike_module_clean(self):
         assert _rules("import repro.lm.providers_ext\n") == []
 
 
 class TestRepoGate:
-    def test_src_repro_has_no_violations(self):
-        violations = arch_lint.lint_tree(REPO_ROOT / "src" / "repro")
-        rendered = "\n".join(v.render() for v in violations)
-        assert not violations, f"architecture violations:\n{rendered}"
+    """The whole tree passes the full registry with the repo baseline."""
 
-    def test_main_exit_status(self):
+    def test_src_repro_has_no_violations(self):
+        baseline = load_baseline(REPO_ROOT / "staticcheck_baseline.json")
+        result = check_tree(REPO_ROOT / "src" / "repro", baseline=baseline)
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert not result.findings, f"staticcheck violations:\n{rendered}"
+        assert not result.stale_baseline, (
+            f"stale baseline entries: {result.stale_baseline}"
+        )
+
+    def test_shim_exit_status(self):
         assert arch_lint.main([str(REPO_ROOT / "src" / "repro")]) == 0
+
+    def test_json_output_is_byte_stable_across_hash_seeds(self):
+        """``repro check --format json`` must not depend on PYTHONHASHSEED."""
+        outputs = []
+        for seed in ("0", "42"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "check",
+                    "--root",
+                    str(REPO_ROOT / "src" / "repro"),
+                    "--format",
+                    "json",
+                    "--baseline",
+                    str(REPO_ROOT / "staticcheck_baseline.json"),
+                ],
+                capture_output=True,
+                env=env,
+                cwd=REPO_ROOT,
+            )
+            assert proc.returncode == 0, proc.stdout.decode() + proc.stderr.decode()
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["ok"] is True
