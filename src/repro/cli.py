@@ -482,7 +482,7 @@ def _cmd_providers(args: argparse.Namespace) -> int:
         try:
             router.score(texts[index % len(texts)])
             succeeded += 1
-        except ReproError:
+        except ReproError:  # staticcheck: disable=EXC001 (probe counts successes; failures are the complement)
             pass
         clock.advance(0.01)
     stats = router.stats_dict()
@@ -514,6 +514,13 @@ def _cmd_providers(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro check`` exit codes — a stable contract for CI wrappers:
+#: 0 = clean, 1 = findings or stale baseline, 2 = usage error.
+CHECK_OK = 0
+CHECK_FINDINGS = 1
+CHECK_USAGE = 2
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run the staticcheck rule engine over a source tree.
 
@@ -529,24 +536,57 @@ def _cmd_check(args: argparse.Namespace) -> int:
         for rule_id in staticcheck.REGISTRY.ids():
             rule_cls = staticcheck.REGISTRY.get(rule_id)
             print(f"{rule_id}  ({rule_cls.severity})  {rule_cls.title}")
-        return 0
+        return CHECK_OK
     if args.explain:
-        print(staticcheck.REGISTRY.explain(args.explain))
-        return 0
+        try:
+            print(staticcheck.REGISTRY.explain(args.explain))
+        except KeyError as exc:
+            print(f"repro check: {exc.args[0]}", file=sys.stderr)
+            return CHECK_USAGE
+        return CHECK_OK
 
     root = Path(args.root) if args.root else Path(repro.__file__).parent
+    if not root.is_dir():
+        print(f"repro check: no such directory: {root}", file=sys.stderr)
+        return CHECK_USAGE
     rule_ids = args.rules.split(",") if args.rules else None
+    if args.write_baseline and not args.baseline:
+        print(
+            "repro check: --write-baseline requires --baseline PATH",
+            file=sys.stderr,
+        )
+        return CHECK_USAGE
 
     baseline = None
     baseline_path = Path(args.baseline) if args.baseline else None
     if baseline_path is not None and baseline_path.exists() and not args.write_baseline:
         baseline = staticcheck.load_baseline(baseline_path)
 
-    result = staticcheck.check_tree(root, rule_ids=rule_ids, baseline=baseline)
+    cache = None
+    if args.cache:
+        try:
+            rule_classes = [
+                staticcheck.REGISTRY.get(rid)
+                for rid in (rule_ids or staticcheck.REGISTRY.ids())
+            ]
+        except KeyError as exc:
+            print(f"repro check: {exc.args[0]}", file=sys.stderr)
+            return CHECK_USAGE
+        cache = staticcheck.FindingCache(
+            args.cache, staticcheck.rules_fingerprint(rule_classes)
+        )
+
+    try:
+        result = staticcheck.check_tree(
+            root, rule_ids=rule_ids, baseline=baseline, cache=cache
+        )
+    except KeyError as exc:
+        print(f"repro check: {exc.args[0]}", file=sys.stderr)
+        return CHECK_USAGE
+    if cache is not None:
+        cache.save()
 
     if args.write_baseline:
-        if baseline_path is None:
-            sys.exit("--write-baseline requires --baseline PATH")
         staticcheck.save_baseline(
             staticcheck.Baseline.from_findings(result.findings), baseline_path
         )
@@ -554,7 +594,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"wrote {len(result.findings)} grandfathered finding(s) "
             f"to {baseline_path}"
         )
-        return 0
+        return CHECK_OK
+
+    if args.fix:
+        diff, changed = staticcheck.apply_fixes(
+            result, root, baseline_path=baseline_path
+        )
+        if diff:
+            print(diff, end="")
+        print(f"fixed {changed} file(s)")
+        # Findings the fixer cannot retire (anything but stale
+        # suppressions / stale baseline entries) still fail the run.
+        remaining = [f for f in result.findings if f.rule != "SUP001"]
+        if result.stale_baseline and baseline_path is None:
+            return CHECK_FINDINGS
+        return CHECK_OK if not remaining else CHECK_FINDINGS
 
     if args.format == "json":
         print(staticcheck.render_json(result))
@@ -562,7 +616,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(staticcheck.render_sarif(result))
     else:
         print(staticcheck.render_text(result))
-    return 0 if result.ok() else 1
+    return CHECK_OK if result.ok() else CHECK_FINDINGS
 
 
 def _add_reliability_flags(subparser: argparse.ArgumentParser) -> None:
@@ -794,6 +848,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--list", action="store_true",
         help="list registered rules and exit",
+    )
+    check_parser.add_argument(
+        "--fix", action="store_true",
+        help="delete stale suppression comments and prune stale "
+             "baseline entries, printing a unified diff",
+    )
+    check_parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="incremental finding cache file; unchanged modules skip "
+             "per-module rules on warm runs",
     )
     check_parser.set_defaults(func=_cmd_check)
     return parser

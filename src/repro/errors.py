@@ -97,6 +97,10 @@ class AllProvidersOpenError(ProviderError):
     """
 
 
+class ServingError(ReproError):
+    """Raised on serving-layer lifecycle misuse (e.g. double start)."""
+
+
 class DatasetError(ReproError):
     """Raised when a benchmark dataset cannot be built or loaded."""
 

@@ -125,7 +125,6 @@ def _layer_norm(x: np.ndarray, gain: np.ndarray, bias: np.ndarray):
 
 def _layer_norm_backward(dout, cache, gain):
     normalized, inv_std = cache
-    d = normalized.shape[-1]
     dgain = (dout * normalized).sum(axis=tuple(range(dout.ndim - 1)))
     dbias = dout.sum(axis=tuple(range(dout.ndim - 1)))
     dnorm = dout * gain

@@ -172,7 +172,7 @@ class PromptBuilder:
                     schema,
                     gold_sql,
                 )
-            except SQLSyntaxError:
+            except SQLSyntaxError:  # staticcheck: disable=EXC001 (unparseable gold SQL falls back to the heuristic filter below)
                 pass
         return self._schema_filter.filter(linking_question, schema, matched)
 

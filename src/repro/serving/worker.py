@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.errors import ServingError
+
 #: How long an idle worker parks on the queue's condition variable
 #: before re-checking the stop flag (real seconds; bounds shutdown
 #: latency, not throughput — arrivals notify the condition).
@@ -35,7 +37,7 @@ class WorkerPool:
 
     def start(self) -> None:
         if self._threads:
-            raise RuntimeError("worker pool already started")
+            raise ServingError("worker pool already started")
         self._stop.clear()
         for index in range(self.workers):
             thread = threading.Thread(

@@ -10,8 +10,15 @@ carry source spans and line-independent fingerprints; inline
 grandfather known findings without letting new ones in.  Emitters
 render text, JSON, and SARIF 2.1.0 — all byte-deterministic.
 
+Flow-sensitive rules (RES001 resource leaks, EXC001 exception flow,
+DEAD001 dead code) build on the intraprocedural CFG (``cfg.py``) and
+worklist dataflow solver (``dataflow.py``); a content-hash incremental
+cache (``cache.py``) makes warm runs skip unchanged modules, and
+``fix.py`` powers ``repro check --fix``.
+
 Entry points: ``repro check`` (CLI) and the ``scripts/arch_lint.py``
-shim.  See DESIGN.md §13 for the architecture and how to add a rule.
+shim.  See DESIGN.md §13–§14 for the architecture and how to add a
+rule.
 """
 
 from repro.staticcheck import rules as _rules  # noqa: F401  (registration)
@@ -21,7 +28,19 @@ from repro.staticcheck.baseline import (
     load_baseline,
     save_baseline,
 )
+from repro.staticcheck.cache import (
+    FindingCache,
+    content_hash,
+    rules_fingerprint,
+)
+from repro.staticcheck.cfg import CFG, Block, build_cfg, function_nodes
+from repro.staticcheck.dataflow import (
+    liveness,
+    reaching_definitions,
+    solve,
+)
 from repro.staticcheck.emit import render_json, render_sarif, render_text
+from repro.staticcheck.fix import apply_fixes
 from repro.staticcheck.findings import (
     ERROR,
     SEVERITIES,
@@ -63,4 +82,15 @@ __all__ = [
     "render_text",
     "render_json",
     "render_sarif",
+    "FindingCache",
+    "content_hash",
+    "rules_fingerprint",
+    "CFG",
+    "Block",
+    "build_cfg",
+    "function_nodes",
+    "solve",
+    "liveness",
+    "reaching_definitions",
+    "apply_fixes",
 ]

@@ -1,0 +1,438 @@
+"""Intraprocedural control-flow graphs over Python AST.
+
+A :class:`CFG` is built per function body (or module top level) by
+:func:`build_cfg`.  Blocks hold *elements*: simple statements appear
+verbatim, compound statements (``if``/``while``/``for``/``with``/
+``try``) appear once as their own header element while their suites
+are decomposed into further blocks.  Edges carry a kind:
+
+- ``"normal"`` — sequential flow, branch taken/skipped, loop back.
+- ``"exception"`` — flow that only happens when a statement raises:
+  from a protected block to the handler/finally entries of every
+  enclosing ``try``, and from an explicit ``raise`` with no enclosing
+  handler to the exit block.
+
+``return``/``break``/``continue``/``raise`` terminate their block;
+``finally`` suites are modelled precisely enough for the dataflow
+rules: an abrupt jump out of a ``try``/``finally`` routes through the
+``finally`` blocks before reaching its target, so a ``close()`` in a
+``finally`` dominates every exit the way it does at runtime.  ``with``
+bodies are inlined without exception edges — the context manager owns
+cleanup, which is exactly why RES001 recommends it.
+
+The graph is deterministic: block indices follow construction order
+(source order), and successor/predecessor lists are kept sorted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+#: statement types that terminate a basic block.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@dataclass
+class Block:
+    """One basic block: a run of elements with shared control flow."""
+
+    index: int
+    elements: list[ast.AST] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph for one function body or module top level."""
+
+    blocks: list[Block]
+    entry: int
+    exit: int
+    #: block -> sorted (successor, kind) pairs.
+    succs: dict[int, list[tuple[int, str]]]
+    preds: dict[int, list[tuple[int, str]]]
+
+    def successors(self, index: int, kinds: tuple[str, ...] = (NORMAL, EXCEPTION)):
+        return [s for s, kind in self.succs.get(index, []) if kind in kinds]
+
+    def predecessors(self, index: int, kinds: tuple[str, ...] = (NORMAL, EXCEPTION)):
+        return [p for p, kind in self.preds.get(index, []) if kind in kinds]
+
+    def reachable(self) -> set[int]:
+        """Blocks reachable from the entry over every edge kind."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            for succ in self.successors(block):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+@dataclass
+class _LoopFrame:
+    break_target: int
+    continue_target: int
+    #: finally-stack depth when the loop was entered: a ``break`` only
+    #: routes through ``finally`` frames pushed *inside* the loop.
+    finally_depth: int
+
+
+@dataclass
+class _FinallyFrame:
+    entry: int
+    #: abrupt jumps routed through this finally: (ultimate target,
+    #: finally-stack depth at which routing stops).
+    pending: list[tuple[int, int]] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self):
+        self.blocks: list[Block] = [Block(0)]
+        self.edges: set[tuple[int, int, str]] = set()
+        self.exit = self._new_block_index()
+        self.current: int | None = 0
+        #: stack of exception-target lists (innermost last); a block
+        #: created inside a protected region gets exception edges to
+        #: every enclosing frame's targets.
+        self.exc_stack: list[list[int]] = []
+        self.loops: list[_LoopFrame] = []
+        self.finallies: list[_FinallyFrame] = []
+
+    # -- block and edge plumbing -------------------------------------------
+
+    def _new_block_index(self) -> int:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _new_block(self, protected: bool = True) -> int:
+        """Fresh block, wired with exception edges to enclosing frames."""
+        index = self._new_block_index()
+        if protected:
+            for frame in self.exc_stack:
+                for target in frame:
+                    self._edge(index, target, EXCEPTION)
+        return index
+
+    def _edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        self.edges.add((src, dst, kind))
+
+    def _start_block(self, preds: list[int] | None = None) -> int:
+        index = self._new_block()
+        for pred in preds or []:
+            self._edge(pred, index)
+        self.current = index
+        return index
+
+    def _append(self, node: ast.AST) -> None:
+        if self.current is None:
+            # statements after a terminator: a fresh block with no
+            # incoming edges — the unreachable-code signal DEAD001 reads.
+            self.current = self._new_block(protected=False)
+        self.blocks[self.current].elements.append(node)
+
+    # -- abrupt jumps through finally frames -------------------------------
+
+    def _jump(self, target: int, stop_depth: int = 0) -> None:
+        """Edge from the current block to ``target``, via finallies.
+
+        ``stop_depth`` is the finally-stack depth beyond which frames
+        do not intervene (a ``break`` does not run finallies entered
+        before its loop).
+        """
+        if self.current is None:
+            return
+        frames = self.finallies[stop_depth:]
+        if frames:
+            frame = frames[-1]
+            self._edge(self.current, frame.entry)
+            frame.pending.append((target, stop_depth))
+        else:
+            self._edge(self.current, target)
+        self.current = None
+
+    def _route_pending(
+        self, src: int, target: int, stop_depth: int
+    ) -> None:
+        """Continue an abrupt jump from a finished finally block."""
+        frames = self.finallies[stop_depth:]
+        if frames:
+            frame = frames[-1]
+            self._edge(src, frame.entry)
+            frame.pending.append((target, stop_depth))
+        else:
+            self._edge(src, target)
+
+    # -- statement visitors -------------------------------------------------
+
+    def visit_body(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._visit_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_for(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, getattr(ast, "Match", ())):
+            self._visit_match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._append(stmt)
+            self._jump(self.exit)
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)
+            self._visit_raise()
+        elif isinstance(stmt, ast.Break):
+            self._append(stmt)
+            if self.loops:
+                frame = self.loops[-1]
+                self._jump(frame.break_target, frame.finally_depth)
+            else:
+                self.current = None
+        elif isinstance(stmt, ast.Continue):
+            self._append(stmt)
+            if self.loops:
+                frame = self.loops[-1]
+                self._jump(frame.continue_target, frame.finally_depth)
+            else:
+                self.current = None
+        else:
+            # simple statement (incl. nested function/class definitions,
+            # whose bodies get their own CFGs).
+            self._append(stmt)
+
+    def _visit_raise(self) -> None:
+        if self.current is None:
+            return
+        if self.exc_stack:
+            # block-level exception edges to the enclosing frames
+            # already exist; the raise just ends the block.
+            pass
+        else:
+            self._edge(self.current, self.exit, EXCEPTION)
+        self.current = None
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._append(stmt)
+        header = self.current
+        exits: list[int] = []
+        self._start_block([header] if header is not None else [])
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            exits.append(self.current)
+        if stmt.orelse:
+            self._start_block([header] if header is not None else [])
+            self.visit_body(stmt.orelse)
+            if self.current is not None:
+                exits.append(self.current)
+        elif header is not None:
+            exits.append(header)
+        if exits:
+            self._start_block(exits)
+        else:
+            self.current = None
+
+    @staticmethod
+    def _is_constant_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and test.value is True
+
+    def _visit_while(self, stmt: ast.While) -> None:
+        pred = self.current
+        header = self._new_block()
+        if pred is not None:
+            self._edge(pred, header)
+        self.blocks[header].elements.append(stmt)
+        after = self._new_block()
+        self.loops.append(_LoopFrame(after, header, len(self.finallies)))
+        self._start_block([header])
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, header)
+        self.loops.pop()
+        if stmt.orelse:
+            # else runs when the loop exits without break.
+            if not self._is_constant_true(stmt.test):
+                self._start_block([header])
+                self.visit_body(stmt.orelse)
+                if self.current is not None:
+                    self._edge(self.current, after)
+        elif not self._is_constant_true(stmt.test):
+            # `while True:` only exits via break.
+            self._edge(header, after)
+        self.current = after
+
+    def _visit_for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        pred = self.current
+        header = self._new_block()
+        if pred is not None:
+            self._edge(pred, header)
+        self.blocks[header].elements.append(stmt)
+        after = self._new_block()
+        self.loops.append(_LoopFrame(after, header, len(self.finallies)))
+        self._start_block([header])
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, header)
+        self.loops.pop()
+        if stmt.orelse:
+            self._start_block([header])
+            self.visit_body(stmt.orelse)
+            if self.current is not None:
+                self._edge(self.current, after)
+        else:
+            self._edge(header, after)
+        self.current = after
+
+    def _visit_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        self._append(stmt)
+        # body inlined; the context manager owns exception cleanup.
+        self.visit_body(stmt.body)
+
+    def _visit_match(self, stmt: ast.AST) -> None:
+        self._append(stmt)
+        header = self.current
+        exits: list[int] = []
+        for case in stmt.cases:
+            self._start_block([header] if header is not None else [])
+            self.visit_body(case.body)
+            if self.current is not None:
+                exits.append(self.current)
+        if header is not None:
+            # no case may match.
+            exits.append(header)
+        if exits:
+            self._start_block(exits)
+        else:
+            self.current = None
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        pred = self.current
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        finally_entry = self._new_block() if stmt.finalbody else None
+        targets = list(handler_entries)
+        if finally_entry is not None:
+            targets.append(finally_entry)
+
+        finally_frame: _FinallyFrame | None = None
+        if finally_entry is not None:
+            finally_frame = _FinallyFrame(finally_entry)
+            self.finallies.append(finally_frame)
+
+        # -- body, protected by handlers and finally --------------------
+        self.exc_stack.append(targets)
+        body_entry = self._new_block()
+        if pred is not None:
+            self._edge(pred, body_entry)
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        body_exit = self.current
+        self.exc_stack.pop()
+
+        after_exits: list[int] = []
+
+        # -- else, protected by finally only ----------------------------
+        if finally_entry is not None:
+            self.exc_stack.append([finally_entry])
+        if stmt.orelse:
+            if body_exit is not None:
+                self._start_block([body_exit])
+                self.visit_body(stmt.orelse)
+                normal_exit = self.current
+            else:
+                normal_exit = None
+        else:
+            normal_exit = body_exit
+        if normal_exit is not None:
+            if finally_entry is not None:
+                self._edge(normal_exit, finally_entry)
+            else:
+                after_exits.append(normal_exit)
+
+        # -- handlers ----------------------------------------------------
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.current = entry
+            if handler.type is not None:
+                self.blocks[entry].elements.append(handler.type)
+            self.visit_body(handler.body)
+            if self.current is not None:
+                if finally_entry is not None:
+                    self._edge(self.current, finally_entry)
+                else:
+                    after_exits.append(self.current)
+        if finally_entry is not None:
+            self.exc_stack.pop()
+
+        # -- finally -----------------------------------------------------
+        if finally_entry is not None:
+            self.finallies.pop()
+            self.current = finally_entry
+            self.visit_body(stmt.finalbody)
+            finally_exit = self.current
+            if finally_exit is not None:
+                after_exits.append(finally_exit)
+                # abrupt jumps that entered the finally continue on to
+                # their original targets (through outer finallies).
+                assert finally_frame is not None
+                for target, stop_depth in finally_frame.pending:
+                    self._route_pending(finally_exit, target, stop_depth)
+                # an unmatched exception propagates out after finally.
+                propagated = False
+                for frame in reversed(self.exc_stack):
+                    for target in frame:
+                        self._edge(finally_exit, target, EXCEPTION)
+                        propagated = True
+                    if propagated:
+                        break
+                if not propagated:
+                    self._edge(finally_exit, self.exit, EXCEPTION)
+
+        if after_exits:
+            self._start_block(sorted(set(after_exits)))
+        else:
+            self.current = None
+
+    # -- finalization --------------------------------------------------------
+
+    def finish(self) -> CFG:
+        if self.current is not None:
+            self._edge(self.current, self.exit)
+        succs: dict[int, list[tuple[int, str]]] = {}
+        preds: dict[int, list[tuple[int, str]]] = {}
+        for src, dst, kind in sorted(self.edges):
+            succs.setdefault(src, []).append((dst, kind))
+            preds.setdefault(dst, []).append((src, kind))
+        return CFG(
+            blocks=self.blocks,
+            entry=0,
+            exit=self.exit,
+            succs=succs,
+            preds=preds,
+        )
+
+
+def build_cfg(node: ast.AST) -> CFG:
+    """CFG for a function/module body (any node with a ``body`` list)."""
+    builder = _Builder()
+    builder.visit_body(list(getattr(node, "body", [])))
+    return builder.finish()
+
+
+def function_nodes(tree: ast.AST):
+    """Every function definition in ``tree``, in source order."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]

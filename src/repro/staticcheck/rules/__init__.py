@@ -7,9 +7,20 @@ single place the built-in set is enumerated.
 
 from repro.staticcheck.rules import (  # noqa: F401  (registration side effect)
     arch,
+    deadcode,
     determinism,
+    exceptions,
     locks,
+    resources,
     stage_contract,
 )
 
-__all__ = ["arch", "determinism", "locks", "stage_contract"]
+__all__ = [
+    "arch",
+    "deadcode",
+    "determinism",
+    "exceptions",
+    "locks",
+    "resources",
+    "stage_contract",
+]

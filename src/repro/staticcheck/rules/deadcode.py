@@ -1,0 +1,140 @@
+"""DEAD001: unreachable statements and dead stores.
+
+Two defect classes, both answered by the CFG + dataflow layer:
+
+1. **Unreachable code** — statements with no control-flow path from
+   the function (or module) entry: code after ``return`` / ``raise``
+   / ``break`` / ``continue``, and code after a ``while True:`` loop
+   with no ``break``.  Reachability is computed over every CFG edge
+   kind, so code reachable only through an exception handler is
+   *not* flagged.  One finding per unreachable region (its first
+   statement), not one per statement.
+2. **Dead stores** — a local ``name = value`` whose binding is never
+   read on any path before being overwritten or falling out of
+   scope, per the CFG liveness analysis.  Deliberately scoped tight
+   to keep the signal clean: only plain single-name assignments in
+   function bodies count; names starting with ``_`` (the discard
+   idiom), names referenced from nested scopes (closures), and
+   ``global``/``nonlocal`` names are exempt, as are unpacking
+   targets, augmented assignments, and loop variables.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.cfg import build_cfg, function_nodes
+from repro.staticcheck.dataflow import live_after, liveness
+from repro.staticcheck.module import ModuleContext
+from repro.staticcheck.registry import Rule, register
+
+_NESTED_SCOPES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _nested_scope_names(fn: ast.AST) -> set[str]:
+    """Names referenced anywhere inside nested scopes of ``fn``."""
+    names: set[str] = set()
+    for node in ast.iter_child_nodes(fn):
+        for sub in ast.walk(node):
+            if isinstance(sub, _NESTED_SCOPES) and sub is not fn:
+                names.update(
+                    inner.id
+                    for inner in ast.walk(sub)
+                    if isinstance(inner, ast.Name)
+                )
+    return names
+
+
+def _declared_names(fn: ast.AST) -> set[str]:
+    """``global``/``nonlocal`` declarations inside ``fn``."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.update(node.names)
+    return names
+
+
+@register
+class DeadCodeRule(Rule):
+    __doc__ = __doc__
+
+    id = "DEAD001"
+    severity = "error"
+    title = "unreachable statement or dead store"
+
+    def check(self, module: ModuleContext) -> list:
+        findings = []
+        findings.extend(self._unreachable(module, module.tree, "module"))
+        for fn in function_nodes(module.tree):
+            findings.extend(self._unreachable(module, fn, fn.name))
+            findings.extend(self._dead_stores(module, fn))
+        return findings
+
+    # -- unreachable regions ------------------------------------------------
+
+    def _unreachable(self, module: ModuleContext, node: ast.AST, scope: str):
+        cfg = build_cfg(node)
+        reachable = cfg.reachable()
+        findings = []
+        for block in cfg.blocks:
+            if block.index in reachable or not block.elements:
+                continue
+            # report region heads only: a block fed exclusively by
+            # other unreachable blocks is the same region continuing.
+            if any(True for _ in cfg.predecessors(block.index)):
+                continue
+            first = block.elements[0]
+            findings.append(
+                self.finding(
+                    module,
+                    first,
+                    f"unreachable statement in {scope!r}: no "
+                    "control-flow path reaches this line",
+                )
+            )
+        return findings
+
+    # -- dead stores ---------------------------------------------------------
+
+    def _dead_stores(self, module: ModuleContext, fn: ast.AST):
+        exempt = _nested_scope_names(fn) | _declared_names(fn)
+        cfg = build_cfg(fn)
+        reachable = cfg.reachable()
+        solution = liveness(cfg)
+        findings = []
+        for block in cfg.blocks:
+            if block.index not in reachable:
+                continue
+            after = live_after(cfg, solution, block.index)
+            for element, live in zip(block.elements, after):
+                if not (
+                    isinstance(element, ast.Assign)
+                    and len(element.targets) == 1
+                    and isinstance(element.targets[0], ast.Name)
+                ):
+                    continue
+                name = element.targets[0].id
+                if (
+                    name.startswith("_")
+                    or name in exempt
+                    or name in live
+                ):
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        element,
+                        f"dead store: the value assigned to {name!r} in "
+                        f"{fn.name!r} is never read on any path; drop "
+                        "the assignment or use the value",
+                    )
+                )
+        return findings

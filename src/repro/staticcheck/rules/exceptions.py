@@ -1,0 +1,210 @@
+"""EXC001: exception flow must respect the ``repro.errors`` taxonomy.
+
+Three defect classes, all checked against the *live* taxonomy (the
+rule introspects :mod:`repro.errors` at construction, so a new error
+class is covered the moment it exists):
+
+1. **Swallowed taxonomy errors** — an ``except ReproError`` (or any
+   subclass) handler whose body is nothing but ``pass``/``...`` drops
+   a classified library failure on the floor: no re-raise, no record,
+   no typed outcome.  Handlers that return, assign, record, or
+   reference the bound exception are handling, not swallowing;
+   deliberate drops carry an inline suppression with a justification.
+2. **Ad-hoc raises** — ``raise Exception(...)`` /
+   ``RuntimeError(...)`` / ``BaseException(...)`` bypasses the
+   taxonomy: callers can no longer catch library failures without
+   also swallowing programming mistakes.  Raise a
+   :class:`repro.errors.ReproError` subclass instead.  Specific
+   builtin contract errors (``ValueError``, ``TypeError``,
+   ``KeyError``, ``NotImplementedError``) stay legal — they signal
+   caller bugs, not library failures.
+3. **Dead except clauses** — a handler whose every class is already
+   caught by a broader handler earlier in the same ``try`` can never
+   run (``except ExecutionError`` after ``except ReproError``).  The
+   hierarchy check resolves both taxonomy classes and builtins, so
+   ``except TimeoutError`` after ``except OSError`` is caught too.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from repro.staticcheck.module import ModuleContext
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.rules._util import ImportTable
+
+#: generic exception classes that must not be raised directly.
+AD_HOC_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+
+def _taxonomy_classes() -> dict[str, type]:
+    """Name -> class for every ``ReproError`` subclass (live walk)."""
+    from repro.errors import ReproError
+
+    classes: dict[str, type] = {ReproError.__name__: ReproError}
+    frontier = [ReproError]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            if sub.__name__ not in classes:
+                classes[sub.__name__] = sub
+                frontier.append(sub)
+    return classes
+
+
+@register
+class ExceptionFlowRule(Rule):
+    __doc__ = __doc__
+
+    id = "EXC001"
+    severity = "error"
+    title = "swallowed taxonomy error, ad-hoc raise, or dead except clause"
+
+    def __init__(self):
+        self._taxonomy = _taxonomy_classes()
+
+    # -- class resolution ---------------------------------------------------
+
+    def _resolve_class(
+        self, imports: ImportTable, node: ast.expr
+    ) -> type | None:
+        """The exception class an ``except`` clause names, if known."""
+        resolved = imports.resolve(node)
+        if resolved is None:
+            return None
+        name = resolved.rsplit(".", 1)[-1]
+        if name in self._taxonomy:
+            return self._taxonomy[name]
+        candidate = getattr(builtins, name, None)
+        if isinstance(candidate, type) and issubclass(
+            candidate, BaseException
+        ):
+            return candidate
+        return None
+
+    def _handler_classes(
+        self, imports: ImportTable, handler: ast.ExceptHandler
+    ) -> list[type] | None:
+        """Resolved classes for one handler; None when any is unknown."""
+        if handler.type is None:
+            return [BaseException]
+        nodes = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        classes: list[type] = []
+        for node in nodes:
+            cls = self._resolve_class(imports, node)
+            if cls is None:
+                return None
+            classes.append(cls)
+        return classes
+
+    # -- checks -------------------------------------------------------------
+
+    def check(self, module: ModuleContext) -> list:
+        imports = ImportTable.from_tree(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Try):
+                findings.extend(self._check_try(module, imports, node))
+            elif isinstance(node, ast.Raise):
+                findings.extend(self._check_raise(module, imports, node))
+        return findings
+
+    @staticmethod
+    def _is_swallow_body(body: list[ast.stmt]) -> bool:
+        """True when the handler body does nothing at all."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or `...`
+            return False
+        return True
+
+    def _check_try(
+        self, module: ModuleContext, imports: ImportTable, node: ast.Try
+    ) -> list:
+        findings = []
+        seen: list[tuple[type, int]] = []  # (class, handler line)
+        for handler in node.handlers:
+            classes = self._handler_classes(imports, handler)
+
+            # 1. swallowed taxonomy error
+            if classes is not None and self._is_swallow_body(handler.body):
+                from repro.errors import ReproError
+
+                swallowed = sorted(
+                    cls.__name__
+                    for cls in classes
+                    if isinstance(cls, type)
+                    and issubclass(cls, ReproError)
+                )
+                if swallowed:
+                    findings.append(
+                        self.finding(
+                            module,
+                            handler,
+                            f"handler silently swallows "
+                            f"{', '.join(swallowed)}; re-raise, record "
+                            "the failure, or return a typed outcome",
+                        )
+                    )
+
+            # 3. dead except clause
+            if classes is not None and seen:
+                shadows = []
+                for cls in classes:
+                    for earlier, line in seen:
+                        if issubclass(cls, earlier):
+                            shadows.append((cls.__name__, earlier.__name__, line))
+                            break
+                    else:
+                        shadows = []
+                        break
+                if shadows and len(shadows) == len(classes):
+                    name, earlier_name, line = shadows[0]
+                    findings.append(
+                        self.finding(
+                            module,
+                            handler,
+                            f"dead except clause: {name} is already "
+                            f"caught by the broader {earlier_name} "
+                            f"handler on line {line}",
+                        )
+                    )
+            if classes is None:
+                # an unresolvable class may catch anything; stop
+                # reasoning about later handlers in this try.
+                break
+            seen.extend((cls, handler.lineno) for cls in classes)
+        return findings
+
+    def _check_raise(
+        self, module: ModuleContext, imports: ImportTable, node: ast.Raise
+    ) -> list:
+        exc = node.exc
+        if exc is None:  # bare re-raise is always fine
+            return []
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        resolved = imports.resolve(exc)
+        if resolved is None:
+            return []
+        name = resolved.rsplit(".", 1)[-1]
+        if name in AD_HOC_RAISES and name not in self._taxonomy:
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"ad-hoc {name} raise bypasses the repro.errors "
+                    "taxonomy; raise a ReproError subclass so callers "
+                    "can catch library failures precisely",
+                )
+            ]
+        return []

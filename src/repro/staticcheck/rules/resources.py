@@ -1,0 +1,224 @@
+"""RES001: resources must be released on every control-flow path.
+
+File handles (``open()``/``io.open``/``gzip.open``), SQLite
+connections (``sqlite3.connect``), cursors (``.cursor()``), and locks
+acquired via an explicit ``.acquire()`` call are tracked through a
+forward "held resources" dataflow over the function's CFG.  A
+resource acquired into a local name is *released* by:
+
+- ``name.close()`` / ``name.release()`` / ``name.shutdown()``;
+- being the subject of a ``with`` statement (``with name:`` /
+  ``with closing(name):``);
+- ``del name``;
+- *escaping* — returned, yielded, raised, passed as a call argument,
+  aliased to another name, or stored into an attribute, subscript, or
+  container.  Ownership moved, so this function is off the hook.
+
+Method calls *on* the resource (``handle.read()``, ``conn.execute``)
+are uses, not escapes.  Any path that can reach the function exit —
+or re-acquire into the same name — while a resource is still held is
+a leak, reported at the acquisition site with a prefer-``with`` hint.
+Resources acquired directly in a ``with`` header never enter the
+lattice: the context manager owns cleanup, which is the recommended
+fix.  The analysis follows normal edges only; exception-path safety
+is exactly what ``with`` (or ``try``/``finally``) buys, hence the
+hint.  Explicit ``lock.acquire()`` statements add the receiver
+expression itself as a held fact until the matching ``.release()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.cfg import NORMAL, build_cfg, function_nodes
+from repro.staticcheck.dataflow import FORWARD, solve
+from repro.staticcheck.findings import SourceSpan
+from repro.staticcheck.module import ModuleContext
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.rules._util import ImportTable
+
+#: fully-qualified call targets whose result is an owned resource.
+RESOURCE_FACTORIES = {
+    "open": "file handle",
+    "io.open": "file handle",
+    "gzip.open": "file handle",
+    "sqlite3.connect": "sqlite connection",
+}
+
+#: method names whose call result is an owned resource.
+RESOURCE_METHODS = {
+    "cursor": "cursor",
+    "connect": "connection",
+}
+
+#: method names that release the receiver.
+RELEASE_METHODS = frozenset({"close", "release", "shutdown"})
+
+
+def _method_call(node: ast.AST) -> tuple[ast.expr, str] | None:
+    """(receiver, method name) when ``node`` is ``recv.method(...)``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+    ):
+        return node.func.value, node.func.attr
+    return None
+
+
+@register
+class ResourceLeakRule(Rule):
+    __doc__ = __doc__
+
+    id = "RES001"
+    severity = "error"
+    title = "resource may not be released on every path"
+
+    def check(self, module: ModuleContext) -> list:
+        imports = ImportTable.from_tree(module.tree)
+        findings = []
+        for fn in function_nodes(module.tree):
+            findings.extend(self._check_function(module, imports, fn))
+        return findings
+
+    # -- acquisition/release classification --------------------------------
+
+    def _acquisition(
+        self, imports: ImportTable, value: ast.expr
+    ) -> str | None:
+        """Resource kind produced by evaluating ``value``, or None."""
+        if not isinstance(value, ast.Call):
+            return None
+        resolved = imports.resolve(value.func)
+        if resolved in RESOURCE_FACTORIES:
+            return RESOURCE_FACTORIES[resolved]
+        call = _method_call(value)
+        if call is not None and call[1] in RESOURCE_METHODS:
+            return RESOURCE_METHODS[call[1]]
+        return None
+
+    @staticmethod
+    def _escaping_names(element: ast.AST, skip_value: bool = False) -> set[str]:
+        """Names that escape through ``element``.
+
+        A loaded ``Name`` escapes unless it is the direct receiver of
+        an attribute access (``name.read()`` is a use, not a move).
+        """
+        receivers: set[int] = set()
+        for node in ast.walk(element):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                receivers.add(id(node.value))
+        escaped: set[str] = set()
+        for node in ast.walk(element):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in receivers
+            ):
+                escaped.add(node.id)
+        return escaped
+
+    # -- the held-resources dataflow ---------------------------------------
+
+    def _check_function(
+        self, module: ModuleContext, imports: ImportTable, fn: ast.AST
+    ) -> list:
+        cfg = build_cfg(fn)
+        findings: dict[tuple, None] = {}
+
+        def transfer(element: ast.AST, held: frozenset) -> frozenset:
+            held = set(held)
+
+            def kill(name: str) -> None:
+                for fact in [f for f in held if f[0] == name]:
+                    held.discard(fact)
+
+            # with headers: subjects are released by the CM; bound
+            # resources never enter the lattice.
+            if isinstance(element, (ast.With, ast.AsyncWith)):
+                for item in element.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name):
+                        kill(expr.id)
+                    call = _method_call(expr)
+                    if call is None and isinstance(expr, ast.Call):
+                        # closing(conn) and friends take ownership.
+                        for arg in expr.args:
+                            if isinstance(arg, ast.Name):
+                                kill(arg.id)
+                return frozenset(held)
+
+            # release calls and explicit .acquire() statements.
+            if isinstance(element, ast.Expr):
+                call = _method_call(element.value)
+                if call is not None:
+                    receiver, method = call
+                    if method in RELEASE_METHODS:
+                        if isinstance(receiver, ast.Name):
+                            kill(receiver.id)
+                        else:
+                            key = f"<{ast.dump(receiver)}>"
+                            kill(key)
+                        return frozenset(held)
+                    if method == "acquire":
+                        key = (
+                            receiver.id
+                            if isinstance(receiver, ast.Name)
+                            else f"<{ast.dump(receiver)}>"
+                        )
+                        for fact in [f for f in held if f[0] == key]:
+                            findings[
+                                (
+                                    fact[1],
+                                    f"{fact[2]} acquired here may be "
+                                    "re-acquired before release",
+                                )
+                            ] = None
+                        held.add((key, element.lineno, "lock"))
+                        return frozenset(held)
+
+            if isinstance(element, ast.Delete):
+                for target in element.targets:
+                    if isinstance(target, ast.Name):
+                        kill(target.id)
+                return frozenset(held)
+
+            if isinstance(element, ast.Assign) and len(element.targets) == 1:
+                target = element.targets[0]
+                kind = self._acquisition(imports, element.value)
+                if isinstance(target, ast.Name) and kind is not None:
+                    for fact in [f for f in held if f[0] == target.id]:
+                        findings[
+                            (
+                                fact[1],
+                                f"{fact[2]} assigned to {fact[0]!r} here is "
+                                "overwritten before being released",
+                            )
+                        ] = None
+                        held.discard(fact)
+                    held.add((target.id, element.lineno, kind))
+                    return frozenset(held)
+
+            # generic escapes (return x, f(x), y = x, self.h = x, ...).
+            for name in self._escaping_names(element):
+                kill(name)
+            return frozenset(held)
+
+        solution = solve(cfg, transfer, direction=FORWARD, kinds=(NORMAL,))
+        reachable = cfg.reachable()
+        exit_held = solution.block_in[cfg.exit] if cfg.exit in reachable else frozenset()
+        for name, line, kind in exit_held:
+            label = name if not name.startswith("<") else "resource"
+            findings[
+                (
+                    line,
+                    f"{kind} {label!r} acquired here is not released or "
+                    "closed on every path to function exit; use a `with` "
+                    "block (or close it in a `finally`)",
+                )
+            ] = None
+        return [
+            self.finding(module, SourceSpan(line=line), message)
+            for line, message in sorted(findings)
+        ]

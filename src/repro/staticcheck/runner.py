@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.staticcheck.baseline import Baseline, BaselineEntry
+from repro.staticcheck.cache import FindingCache, content_hash
 from repro.staticcheck.findings import Finding, SourceSpan
 from repro.staticcheck.module import ModuleContext, parse_module
 from repro.staticcheck.registry import REGISTRY, Rule, register
@@ -41,6 +42,8 @@ class UnusedSuppressionRule(Rule):
     id = "SUP001"
     severity = "warning"
     title = "unused inline suppression"
+    #: driven by whole-run suppression bookkeeping, never cached.
+    incremental = False
 
 
 @dataclass
@@ -53,6 +56,11 @@ class CheckResult:
     files: int = 0
     suppressed: int = 0
     rule_ids: tuple[str, ...] = field(default_factory=tuple)
+    #: ``(path, line, rule_id)`` for every suppression that silenced
+    #: nothing — the structural form ``repro check --fix`` consumes.
+    unused_suppressions: tuple[tuple[str, int, str], ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def ok(self) -> bool:
         return not self.findings and not self.stale_baseline
@@ -72,16 +80,31 @@ def check_modules(
     modules: list[ModuleContext],
     rules: list[Rule] | None = None,
     baseline: Baseline | None = None,
+    cache: FindingCache | None = None,
 ) -> CheckResult:
-    """Run ``rules`` (default: the whole registry) over parsed modules."""
+    """Run ``rules`` (default: the whole registry) over parsed modules.
+
+    With a ``cache``, per-module findings of ``Rule.incremental`` rules
+    are served from it for unchanged files and recorded for the rest;
+    non-incremental rules (cross-module state) always run, so warm
+    output matches cold output exactly.  The caller saves the cache.
+    """
     if rules is None:
         rules = REGISTRY.create()
     by_path = {module.path: module for module in modules}
     sup001 = next((r for r in rules if r.id == UnusedSuppressionRule.id), None)
     raw: list[Finding] = []
     for module in modules:
+        digest = content_hash(module.source) if cache is not None else ""
         for rule in rules:
-            raw.extend(rule.check(module))
+            if cache is not None and rule.incremental:
+                cached = cache.get(module.path, digest, rule.id)
+                if cached is None:
+                    cached = rule.check(module)
+                    cache.put(module.path, digest, rule.id, cached)
+                raw.extend(cached)
+            else:
+                raw.extend(rule.check(module))
     for rule in rules:
         raw.extend(rule.finish())
 
@@ -100,6 +123,7 @@ def check_modules(
 
     # Unused suppressions become findings themselves (unless the line
     # also disables SUP001, which is always considered used).
+    unused: list[tuple[str, int, str]] = []
     if sup001 is not None:
         for module in modules:
             for line, rule_ids in sorted(module.suppressions.items()):
@@ -110,6 +134,7 @@ def check_modules(
                         continue
                     if module.suppressed(UnusedSuppressionRule.id, line):
                         continue
+                    unused.append((module.path, line, rule_id))
                     kept.append(
                         sup001.finding(
                             module,
@@ -135,6 +160,9 @@ def check_modules(
         files=len(modules),
         suppressed=suppressed,
         rule_ids=tuple(rule.id for rule in rules),
+        unused_suppressions=tuple(sorted(unused)),
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
     )
 
 
@@ -142,10 +170,14 @@ def check_tree(
     root: str | Path,
     rule_ids=None,
     baseline: Baseline | None = None,
+    cache: FindingCache | None = None,
 ) -> CheckResult:
     """Parse and check every ``.py`` file under ``root``."""
     return check_modules(
-        load_tree(root), rules=REGISTRY.create(rule_ids), baseline=baseline
+        load_tree(root),
+        rules=REGISTRY.create(rule_ids),
+        baseline=baseline,
+        cache=cache,
     )
 
 

@@ -88,3 +88,134 @@ class TestCLI:
         assert first == second
         assert "throughput rps" in first
         assert "shed total" in first
+
+
+class TestCheckExitCodes:
+    """``repro check`` exit codes are a stable contract:
+    0 = clean, 1 = findings/stale baseline, 2 = usage error."""
+
+    def _tree(self, tmp_path, source: str):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "mod.py").write_text(source, encoding="utf-8")
+        return root
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = self._tree(tmp_path, "x = 1\n")
+        assert main(["check", "--root", str(root)]) == 0
+        assert "staticcheck: OK" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = self._tree(tmp_path, "import time\nt = time.time()\n")
+        assert main(["check", "--root", str(root)]) == 1
+        assert "ARCH001" in capsys.readouterr().out
+
+    def test_stale_baseline_exits_one(self, tmp_path, capsys):
+        root = self._tree(tmp_path, "x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "ARCH001", "path": "mod.py",
+                "fingerprint": "0" * 16, "note": "gone",
+            }],
+        }), encoding="utf-8")
+        assert main([
+            "check", "--root", str(root), "--baseline", str(baseline),
+        ]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main(["check", "--root", str(tmp_path / "nope")]) == 2
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        root = self._tree(tmp_path, "x = 1\n")
+        assert main([
+            "check", "--root", str(root), "--rules", "NOPE999",
+        ]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_unknown_explain_exits_two(self, capsys):
+        assert main(["check", "--explain", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_write_baseline_without_path_exits_two(self, capsys):
+        assert main(["check", "--write-baseline"]) == 2
+        assert "--write-baseline requires" in capsys.readouterr().err
+
+    def test_unknown_argument_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_arg_parser().parse_args(["check", "--bogus"])
+        assert excinfo.value.code == 2
+
+
+class TestCheckFix:
+    def test_fix_prints_diff_and_is_idempotent(self, tmp_path, capsys):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "mod.py").write_text(
+            "x = 1  # staticcheck: disable=ARCH001\n", encoding="utf-8"
+        )
+        assert main(["check", "--root", str(root), "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "--- a/mod.py" in out
+        assert "-x = 1  # staticcheck: disable=ARCH001" in out
+        assert "+x = 1" in out
+        assert "fixed 1 file(s)" in out
+        assert (root / "mod.py").read_text(encoding="utf-8") == "x = 1\n"
+
+        assert main(["check", "--root", str(root), "--fix"]) == 0
+        again = capsys.readouterr().out
+        assert "fixed 0 file(s)" in again
+        assert "---" not in again  # second run: empty diff
+
+    def test_fix_prunes_stale_baseline(self, tmp_path, capsys):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "ARCH001", "path": "mod.py",
+                "fingerprint": "0" * 16, "note": "gone",
+            }],
+        }), encoding="utf-8")
+        assert main([
+            "check", "--root", str(root),
+            "--baseline", str(baseline), "--fix",
+        ]) == 0
+        assert "baseline.json" in capsys.readouterr().out
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["entries"] == []
+
+    def test_fix_leaves_real_findings_failing(self, tmp_path, capsys):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "mod.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        # nothing fixable, and the ARCH001 finding still fails the run.
+        assert main(["check", "--root", str(root), "--fix"]) == 1
+        assert "fixed 0 file(s)" in capsys.readouterr().out
+
+
+class TestCheckCache:
+    def test_warm_run_output_identical(self, tmp_path, capsys):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "mod.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        cache = tmp_path / "cache.json"
+        argv = [
+            "check", "--root", str(root),
+            "--cache", str(cache), "--format", "json",
+        ]
+        assert main(argv) == 1
+        cold = capsys.readouterr().out
+        assert cache.exists()
+        assert main(argv) == 1
+        warm = capsys.readouterr().out
+        assert cold == warm

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.ranking import SENTINEL_SQL
 from repro.engine import StageCache
-from repro.errors import GenerationError
+from repro.errors import GenerationError, ServingError
 from repro.lm.registry import LMRegistry
 from repro.reliability.clock import FakeClock
 from repro.serving import (
@@ -456,7 +456,7 @@ class TestWorkerPool:
         pool = WorkerPool(_server(FakeClock()), workers=1)
         pool.start()
         try:
-            with pytest.raises(RuntimeError):
+            with pytest.raises(ServingError):
                 pool.start()
         finally:
             pool.stop()

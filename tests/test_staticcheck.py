@@ -48,6 +48,7 @@ class TestRegistry:
         for expected in (
             "ARCH001", "ARCH002", "ARCH003", "ARCH004", "ARCH005",
             "ARCH006", "STAGE001", "DET001", "LOCK001", "SUP001",
+            "RES001", "EXC001", "DEAD001",
         ):
             assert expected in ids
 
