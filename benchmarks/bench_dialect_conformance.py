@@ -1,0 +1,83 @@
+"""Cross-dialect conformance: coverage and throughput per gold set.
+
+Runs the full conformance suite — every bundled gold set executed on
+each non-reference backend in its own dialect, results compared
+against SQLite — and reports one row per dataset (examples, matched,
+divergent, errors, skipped) plus a totals row with wall time and
+throughput.  This is the execution-layer analogue of the engine's
+golden-parity suite: the table doubles as the paper-style evidence
+that the ANSI columnar backend is a drop-in substitute for SQLite on
+the entire bundled corpus.
+
+The assertions make the benchmark a gate, not just a report: zero
+divergences, zero errors, zero skips, and full-corpus throughput
+above a floor that keeps the suite cheap enough for CI.
+"""
+
+import time
+
+import pytest
+
+from repro.eval.conformance import run_conformance
+
+pytestmark = pytest.mark.dialects
+
+#: Conformance checks/second the full corpus must sustain (measured
+#: ~900/s; the floor leaves ~10x headroom for slow CI machines).
+MIN_THROUGHPUT = 90.0
+
+
+def test_dialect_conformance_full_corpus(benchmark, report):
+    def run():
+        start = time.perf_counter()
+        conformance = run_conformance()
+        elapsed_s = time.perf_counter() - start
+        return conformance, elapsed_s
+
+    conformance, elapsed_s = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for backend_name, dialect_report in sorted(conformance.reports.items()):
+        for dataset in conformance.datasets:
+            tally = dialect_report.per_dataset.get(dataset, {})
+            examples = sum(tally.values())
+            rows.append(
+                {
+                    "backend": backend_name,
+                    "dataset": dataset,
+                    "examples": examples,
+                    "matched": tally.get("matched", 0),
+                    "divergent": tally.get("divergent", 0),
+                    "errors": tally.get("error", 0),
+                    "skipped": tally.get("skipped", 0),
+                }
+            )
+        total = dialect_report.as_row()
+        rows.append(
+            {
+                "backend": backend_name,
+                "dataset": "TOTAL",
+                "examples": dialect_report.executed + dialect_report.skipped,
+                "matched": total["matched"],
+                "divergent": total["divergent"],
+                "errors": total["errors"],
+                "skipped": total["skipped"],
+            }
+        )
+    throughput = conformance.total_examples / max(elapsed_s, 1e-9)
+    report(
+        "dialect_conformance",
+        rows,
+        f"cross-dialect conformance vs. sqlite reference "
+        f"({conformance.total_examples} gold examples, "
+        f"{len(conformance.datasets)} sets, {elapsed_s:.2f}s, "
+        f"{throughput:.0f} checks/s)",
+    )
+
+    # The gate: every bundled gold example executes and matches on
+    # every registered backend, at CI-friendly throughput.
+    assert conformance.ok, conformance.render()
+    for dialect_report in conformance.reports.values():
+        assert dialect_report.skipped == 0, dialect_report.as_row()
+        assert dialect_report.matched == dialect_report.executed
+    assert throughput >= MIN_THROUGHPUT, f"{throughput:.0f} checks/s"

@@ -16,10 +16,13 @@ compound arms each resolve independently.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.catalog import CatalogColumn, SchemaCatalog
 from repro.analysis.diagnostics import (
     AGGREGATE_IN_WHERE,
     AMBIGUOUS_COLUMN,
+    DIALECT_CASE_FOLD,
     HAVING_SCOPE,
     JOIN_NO_FK,
     ORDER_BY_SCOPE,
@@ -48,18 +51,41 @@ from repro.sqlgen.ast import (
     NullCondition,
     Query,
 )
+from repro.sqlgen.dialects import parse_dialect_sql
 from repro.sqlgen.parser import parse_sql
 from repro.sqlgen.spans import identifier_span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (db -> analysis)
+    from repro.db.backends.base import BackendCapabilities
 
 #: Aggregate functions that require a numeric argument.
 _NUMERIC_AGGREGATES = frozenset({"sum", "avg"})
 
 
 class SemanticAnalyzer:
-    """Lints SQL queries against one database's schema catalog."""
+    """Lints SQL queries against one database's schema catalog.
 
-    def __init__(self, catalog: SchemaCatalog):
+    ``capabilities`` (any object shaped like
+    :class:`repro.db.backends.base.BackendCapabilities`) makes the
+    analyzer dialect-aware: ``analyze_sql`` parses in the backend's
+    dialect, and capability-gated rules fire — e.g. a warning for
+    letter-bearing LIKE patterns on backends whose LIKE is
+    case-sensitive, where SQLite's case-folded match set silently
+    diverges.  Without it the analyzer behaves exactly as before
+    (SQLite dialect, no capability rules).
+    """
+
+    def __init__(
+        self,
+        catalog: SchemaCatalog,
+        capabilities: "BackendCapabilities | None" = None,
+    ):
         self.catalog = catalog
+        self.capabilities = capabilities
+
+    @property
+    def dialect(self) -> str:
+        return getattr(self.capabilities, "dialect", "sqlite")
 
     # -- public API ----------------------------------------------------------
 
@@ -71,7 +97,7 @@ class SemanticAnalyzer:
         the analyzer just cannot vouch for it.
         """
         try:
-            query = parse_sql(sql)
+            query = parse_dialect_sql(sql, self.dialect)
         except SQLSyntaxError as exc:
             return [
                 Diagnostic(
@@ -316,6 +342,30 @@ class SemanticAnalyzer:
         elif isinstance(cond, BetweenCondition) and resolved is not None:
             self._check_literal(resolved, cond.low.value, sql, diags)
             self._check_literal(resolved, cond.high.value, sql, diags)
+        elif isinstance(cond, LikeCondition):
+            self._check_like_case(cond, sql, diags)
+
+    def _check_like_case(
+        self, cond: LikeCondition, sql: str, diags: list[Diagnostic]
+    ) -> None:
+        """Capability-gated: LIKE on a case-sensitive backend.
+
+        Gold queries are written against SQLite, whose LIKE folds ASCII
+        case; a backend that matches case-sensitively will silently
+        drop rows for any pattern containing letters.
+        """
+        if self.capabilities is None:
+            return
+        if not getattr(self.capabilities, "like_case_sensitive", False):
+            return
+        pattern = cond.pattern.value
+        if isinstance(pattern, str) and any(ch.isalpha() for ch in pattern):
+            self._emit(
+                diags, DIALECT_CASE_FOLD, sql, pattern,
+                f"LIKE pattern {pattern!r} contains letters but the "
+                f"{self.dialect!r} backend matches case-sensitively "
+                f"(SQLite folds ASCII case)",
+            )
 
     def _resolve_predicate_column(
         self,

@@ -32,7 +32,7 @@ from repro.sqlgen.ast import (
     NullCondition,
     Query,
 )
-from repro.sqlgen.parser import parse_sql
+from repro.sqlgen.dialects import parse_dialect_sql
 
 #: Returned for SQL the estimator cannot parse — worse than any real
 #: estimate so unparseable candidates sort last within their tier.
@@ -51,8 +51,9 @@ _NULL_SELECTIVITY = 1 / 10
 class CostEstimator:
     """Estimate relative execution cost from catalog statistics."""
 
-    def __init__(self, catalog: SchemaCatalog):
+    def __init__(self, catalog: SchemaCatalog, dialect: str = "sqlite"):
         self.catalog = catalog
+        self.dialect = dialect
 
     # -- statistics ----------------------------------------------------------
 
@@ -166,10 +167,11 @@ class CostEstimator:
         return self._estimate_simple_chain(query)
 
     def estimate_sql(self, sql: Union[str, Query]) -> float:
-        """Estimated cost of raw SQL; unparseable text sorts last."""
+        """Estimated cost of raw SQL (in this estimator's dialect);
+        unparseable text sorts last."""
         if isinstance(sql, Query):
             return self.estimate(sql)
         try:
-            return self.estimate(parse_sql(sql))
+            return self.estimate(parse_dialect_sql(sql, self.dialect))
         except SQLSyntaxError:
             return UNPARSEABLE_COST

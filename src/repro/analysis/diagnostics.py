@@ -58,6 +58,10 @@ ORDER_BY_SCOPE = "order-by-scope"
 JOIN_NO_FK = "join-no-fk"
 #: The SQL is outside the parseable subset; nothing could be checked.
 PARSE_ERROR = "parse-error"
+#: A LIKE pattern with letters on a backend whose LIKE is
+#: case-sensitive — the match set may differ from SQLite's case-folded
+#: semantics the gold sets assume.
+DIALECT_CASE_FOLD = "dialect-case-fold"
 
 #: Default severity per rule code, in reporting order.
 RULE_SEVERITIES: dict[str, Severity] = {
@@ -73,6 +77,7 @@ RULE_SEVERITIES: dict[str, Severity] = {
     ORDER_BY_SCOPE: Severity.ERROR,
     JOIN_NO_FK: Severity.WARNING,
     PARSE_ERROR: Severity.WARNING,
+    DIALECT_CASE_FOLD: Severity.WARNING,
 }
 
 #: All rule codes in reporting order.

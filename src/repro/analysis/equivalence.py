@@ -49,6 +49,7 @@ from repro.sqlgen.ast import (
     normalize_number,
     render_expression,
 )
+from repro.sqlgen.dialects import parse_dialect_sql
 from repro.sqlgen.parser import parse_sql
 from repro.sqlgen.serializer import serialize, serialize_condition
 
@@ -463,16 +464,18 @@ def canonical_key(query: Query) -> str:
     return serialize(canonicalize(query))
 
 
-def canonical_key_sql(sql: str) -> str:
-    """Canonical key for raw SQL text.
+def canonical_key_sql(sql: str, dialect: str = "sqlite") -> str:
+    """Canonical key for raw SQL text written in ``dialect``.
 
-    Unparseable SQL (outside the sqlgen subset) falls back to
+    The key itself is always rendered in the canonical SQLite dialect,
+    so equivalent queries spelled in *different* dialects share one
+    key.  Unparseable SQL (outside the sqlgen subset) falls back to
     whitespace normalization with original casing kept — string
     literals are case-sensitive, so the fallback must not merge texts
     that could execute differently.
     """
     try:
-        return canonical_key(parse_sql(sql))
+        return canonical_key(parse_dialect_sql(sql, dialect))
     except SQLSyntaxError:
         return " ".join(sql.split()).rstrip(";").rstrip()
 
@@ -482,11 +485,11 @@ def canonical_key_sql(sql: str) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _coerce(query: Union[str, Query]) -> Optional[Query]:
+def _coerce(query: Union[str, Query], dialect: str = "sqlite") -> Optional[Query]:
     if isinstance(query, Query):
         return query
     try:
-        return parse_sql(query)
+        return parse_dialect_sql(query, dialect)
     except SQLSyntaxError:
         return None
 
@@ -513,8 +516,9 @@ def prove_equivalent(
     a: Union[str, Query],
     b: Union[str, Query],
     catalog: Optional["SchemaCatalog"] = None,
+    dialect: str = "sqlite",
 ) -> Verdict:
-    """Statically compare two queries.
+    """Statically compare two queries written in ``dialect``.
 
     ``EQUIVALENT`` is sound: it is returned only when the two queries
     share a canonical form (or identical text), so executing either
@@ -525,7 +529,7 @@ def prove_equivalent(
     if isinstance(a, str) and isinstance(b, str):
         if " ".join(a.split()).rstrip(";").rstrip() == " ".join(b.split()).rstrip(";").rstrip():
             return Verdict.EQUIVALENT
-    qa, qb = _coerce(a), _coerce(b)
+    qa, qb = _coerce(a, dialect), _coerce(b, dialect)
     if qa is None or qb is None:
         return Verdict.UNKNOWN
     ca, cb = canonicalize(qa), canonicalize(qb)

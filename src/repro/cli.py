@@ -11,6 +11,7 @@ Subcommands::
     repro equiv --dataset spider            # duplicate-ratio / verdict report
     repro serve --dataset spider < requests.jsonl   # one-shot JSONL serving
     repro loadgen --dataset spider --seed 7 # seeded open-loop load report
+    repro conformance                       # cross-dialect backend audit
     repro check                             # static analysis over src/repro
     repro check --explain STAGE001          # show one rule's documentation
 
@@ -98,6 +99,19 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
+    if args.dialect != "sqlite":
+        from repro.db.backends import backend_for_dialect
+        from repro.errors import ExecutionError
+
+        try:
+            backend_for_dialect(args.dialect)
+        except ExecutionError as exc:
+            sys.exit(str(exc))
+        if args.ts:
+            sys.exit(
+                "--ts requires the reference sqlite dialect "
+                f"(test suites execute on sqlite), not {args.dialect!r}"
+            )
     dataset = _build_dataset(args.dataset)
     parser = CodeSParser(args.model)
     kwargs = {}
@@ -120,6 +134,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         static_eval=not args.no_static_eval,
         batch=args.batch,
+        dialect=args.dialect,
         **kwargs,
     )
     print(format_table([result.as_row()], title=f"{args.model} on {args.dataset}"))
@@ -520,6 +535,63 @@ CHECK_OK = 0
 CHECK_FINDINGS = 1
 CHECK_USAGE = 2
 
+#: ``repro conformance`` exit codes — same contract shape as ``check``:
+#: 0 = every backend matched SQLite everywhere, 1 = divergences or
+#: backend errors, 2 = usage error.
+CONFORMANCE_OK = 0
+CONFORMANCE_DIVERGENT = 1
+CONFORMANCE_USAGE = 2
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    """Run the cross-dialect conformance suite and print the report."""
+    from repro.db.backends import available_backends
+    from repro.eval.conformance import (
+        REFERENCE_BACKEND,
+        bundled_dataset_builders,
+        run_conformance,
+    )
+
+    builders = bundled_dataset_builders()
+    if args.dataset == "all":
+        datasets = None
+    elif args.dataset in builders:
+        datasets = [builders[args.dataset]()]
+    else:
+        print(
+            f"repro conformance: unknown dataset {args.dataset!r}; choose "
+            f"from {sorted([*builders, 'all'])}",
+            file=sys.stderr,
+        )
+        return CONFORMANCE_USAGE
+    if args.backend == "all":
+        backends = None
+    elif args.backend in available_backends():
+        if args.backend == REFERENCE_BACKEND:
+            print(
+                f"repro conformance: {REFERENCE_BACKEND!r} is the reference "
+                f"backend; pick one to compare against it",
+                file=sys.stderr,
+            )
+            return CONFORMANCE_USAGE
+        backends = [args.backend]
+    else:
+        print(
+            f"repro conformance: unknown backend {args.backend!r}; choose "
+            f"from {sorted([*available_backends(), 'all'])}",
+            file=sys.stderr,
+        )
+        return CONFORMANCE_USAGE
+    report = run_conformance(
+        datasets=datasets, backends=backends, deadline_s=args.deadline_s
+    )
+    print(report.render(max_divergences=args.max_divergences))
+    if report.ok:
+        print("OK: every backend matches the reference on every gold set")
+        return CONFORMANCE_OK
+    print("FAIL: backends diverged from the reference (see report above)")
+    return CONFORMANCE_DIVERGENT
+
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run the staticcheck rule engine over a source tree.
@@ -686,6 +758,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="hold one staged engine per database (reusing builders, "
              "analyzers and linking scores) and print per-stage timings",
     )
+    eval_parser.add_argument(
+        "--dialect", default="sqlite",
+        help="run on the backend speaking this SQL dialect (gold queries "
+             "are transpiled); default sqlite is the reference engine",
+    )
     _add_reliability_flags(eval_parser)
     eval_parser.set_defaults(func=_cmd_eval)
 
@@ -818,6 +895,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "negative disables hedging",
     )
     providers_parser.set_defaults(func=_cmd_providers)
+
+    conformance_parser = sub.add_parser(
+        "conformance",
+        help="execute every bundled gold query on each backend and "
+             "result-compare against the reference SQLite engine",
+    )
+    conformance_parser.add_argument(
+        "--dataset", default="all",
+        help="one bundled gold set by name, or 'all' (the default)",
+    )
+    conformance_parser.add_argument(
+        "--backend", default="all",
+        help="one registered backend to audit, or 'all' non-reference "
+             "backends (the default)",
+    )
+    conformance_parser.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="wall-clock budget per backend-side execution (seconds)",
+    )
+    conformance_parser.add_argument(
+        "--max-divergences", type=int, default=10,
+        help="divergent examples to print per backend",
+    )
+    conformance_parser.set_defaults(func=_cmd_conformance)
 
     check_parser = sub.add_parser(
         "check", help="run the staticcheck rule engine over a source tree"

@@ -1,14 +1,30 @@
-"""Database substrate: schemas, SQLite-backed databases, value sampling."""
+"""Database substrate: schemas, execution backends, value sampling."""
 
 from repro.db.schema import Column, ForeignKey, Schema, Table
-from repro.db.database import Database
+from repro.db.backends import (
+    BackendCapabilities,
+    ColumnarBackend,
+    Database,
+    ExecutionBackend,
+    available_backends,
+    backend_dialect,
+    backend_for_dialect,
+    create_backend,
+)
 from repro.db.values import ValueGenerator
 
 __all__ = [
+    "BackendCapabilities",
     "Column",
+    "ColumnarBackend",
     "Database",
+    "ExecutionBackend",
     "ForeignKey",
     "Schema",
     "Table",
     "ValueGenerator",
+    "available_backends",
+    "backend_dialect",
+    "backend_for_dialect",
+    "create_backend",
 ]

@@ -1,0 +1,49 @@
+"""Pluggable execution backends behind the :class:`ExecutionBackend` protocol.
+
+Two backends ship today:
+
+* ``"sqlite"`` — the reference :class:`~repro.db.backends.sqlite.Database`
+  (a real ``sqlite3`` engine; the dialect every golden file is pinned to).
+* ``"columnar"`` — :class:`~repro.db.backends.columnar.ColumnarBackend`,
+  an in-memory columnar interpreter of the sqlgen AST that speaks the
+  ANSI dialect (double-quoted identifiers, ``FETCH FIRST``, ``<>``).
+
+``create_backend(name, database)`` adapts the reference database into
+the named backend; the cross-dialect conformance suite
+(:mod:`repro.eval.conformance`) result-compares every registered
+backend against SQLite on the bundled gold sets.
+"""
+
+from repro.db.backends.base import (
+    SQLITE_CAPABILITIES,
+    BackendCapabilities,
+    ExecutionBackend,
+    Row,
+    available_backends,
+    backend_dialect,
+    backend_for_dialect,
+    create_backend,
+    register_backend,
+)
+from repro.db.backends.columnar import COLUMNAR_CAPABILITIES, ColumnarBackend
+from repro.db.backends.sqlite import Database
+
+register_backend("sqlite", lambda database: database, dialect="sqlite")
+register_backend(
+    "columnar", ColumnarBackend.from_database, dialect=COLUMNAR_CAPABILITIES.dialect
+)
+
+__all__ = [
+    "COLUMNAR_CAPABILITIES",
+    "SQLITE_CAPABILITIES",
+    "BackendCapabilities",
+    "ColumnarBackend",
+    "Database",
+    "ExecutionBackend",
+    "Row",
+    "available_backends",
+    "backend_dialect",
+    "backend_for_dialect",
+    "create_backend",
+    "register_backend",
+]

@@ -30,9 +30,19 @@ class Column:
             raise SchemaError(f"unsupported column type {self.type!r} for {self.name!r}")
 
     @property
-    def sqlite_type(self) -> str:
-        """Storage type used in CREATE TABLE (DATE stored as TEXT)."""
+    def storage_type(self) -> str:
+        """Backend-neutral storage type (DATE stored as TEXT).
+
+        All registered execution backends store DATE values as ISO text,
+        so declared-type-driven behaviour (affinity coercion, value
+        sampling) stays identical across dialects.
+        """
         return "TEXT" if self.type.upper() == "DATE" else self.type.upper()
+
+    @property
+    def sqlite_type(self) -> str:
+        """Historical alias for :attr:`storage_type`."""
+        return self.storage_type
 
 
 @dataclass(frozen=True)

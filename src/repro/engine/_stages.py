@@ -18,7 +18,7 @@ together — edit the tuples, then regenerate this block)::
                     writes: filtered, schema, scores
     prompt_build    reads:  question, builder, filtered, matched, schema, scores
                     writes: prompt, inst_ctx
-    candidate_gen   reads:  question, demonstrations, effort, inst_ctx
+    candidate_gen   reads:  question, demonstrations, effort, inst_ctx, database
                     writes: templates, raw_candidates
     rank            reads:  question, effort, raw_candidates, matched, scores, degrade, database
                     writes: candidates, beam
@@ -68,6 +68,7 @@ from repro.core.ranking import (
 )
 from repro.core.slotfill import InstantiationContext, instantiate_template
 from repro.core.structure import structure_prior
+from repro.db.backends.base import backend_dialect
 from repro.engine.context import InferenceContext
 from repro.errors import GenerationError
 from repro.linking.features import (
@@ -80,7 +81,7 @@ from repro.promptgen.builder import (
     PromptBuilder,
     apply_schema_ablations,
 )
-from repro.sqlgen.serializer import serialize
+from repro.sqlgen.dialects import emitter_for
 from repro.text.embedder import MemoizedEmbedder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -145,11 +146,14 @@ def _sql_memos(ctx: InferenceContext, parser: "CodeSParser") -> _SqlMemos:
     Keyed by the parser's *router*, not its bare LM: two parsers
     sharing an LM but routing through different provider topologies
     may legitimately observe different scores (a failover can answer
-    from a different provider), so their memos must not alias.
+    from a different provider), so their memos must not alias.  The
+    backend's dialect is part of the key because the lint, canonical
+    key, and cost memos all parse the SQL *in that dialect*: the same
+    text can mean different queries under different dialects.
     """
     return ctx.cache.get(
         "sql_memos",
-        (id(ctx.database), id(parser.router)),
+        (id(ctx.database), id(parser.router), backend_dialect(ctx.database)),
         _SqlMemos,
     )
 
@@ -315,7 +319,7 @@ class CandidateGenStage(_ParserStage):
     """
 
     name = "candidate_gen"
-    reads = ("question", "demonstrations", "effort", "inst_ctx")
+    reads = ("question", "demonstrations", "effort", "inst_ctx", "database")
     writes = ("templates", "raw_candidates")
 
     def run(self, ctx: InferenceContext) -> None:
@@ -347,12 +351,17 @@ class CandidateGenStage(_ParserStage):
             templates.append((template, 0.35 * prior))
         ctx.templates = templates
 
+        # Candidates are emitted in the backend's own dialect, so every
+        # downstream consumer (lint, dedup, execution) sees SQL the
+        # backend actually accepts.  On the default SQLite backend this
+        # is byte-identical to the historical serializer.
+        emitter = emitter_for(backend_dialect(ctx.database))
         raw: list[tuple[str, object, float, int]] = []
         seen: set[str] = set()
         for template, retrieval_sim in templates:
             for candidate in instantiate_template(template, ctx.inst_ctx):
                 filled = candidate.query
-                sql = serialize(filled)
+                sql = emitter.serialize(filled)
                 key = sql.lower()
                 if key in seen:
                     continue
@@ -465,10 +474,11 @@ class EquivDedupStage(_ParserStage):
         parser = self.parser
         if parser.equivalence_dedup and ctx.ordered:
             ctx.analyzer = _analyzer(ctx)
+            dialect = backend_dialect(ctx.database)
             ctx.estimator = ctx.cache.get(
                 "estimator",
                 id(ctx.database),
-                lambda: CostEstimator(ctx.analyzer.catalog),
+                lambda: CostEstimator(ctx.analyzer.catalog, dialect=dialect),
             )
             memos = _sql_memos(ctx, parser)
             estimator = ctx.estimator
@@ -476,7 +486,7 @@ class EquivDedupStage(_ParserStage):
             group_of: dict[str, int] = {}
             for sql in ctx.ordered:
                 group_key = memos.get(
-                    "key", sql, lambda: canonical_key_sql(sql)
+                    "key", sql, lambda: canonical_key_sql(sql, dialect)
                 )
                 if group_key in group_of:
                     groups[group_of[group_key]].append(sql)
@@ -575,7 +585,10 @@ def _analyzer(ctx: InferenceContext) -> SemanticAnalyzer:
     return ctx.cache.get(
         "analyzer",
         id(ctx.database),
-        lambda: SemanticAnalyzer(SchemaCatalog.from_database(ctx.database)),
+        lambda: SemanticAnalyzer(
+            SchemaCatalog.from_database(ctx.database),
+            capabilities=getattr(ctx.database, "capabilities", None),
+        ),
     )
 
 

@@ -11,6 +11,13 @@ from repro.eval.execution import (
     execution_match,
     execution_match_outcome,
 )
+from repro.eval.conformance import (
+    ConformanceReport,
+    DialectReport,
+    Divergence,
+    bundled_dataset_builders,
+    run_conformance,
+)
 from repro.eval.testsuite import TestSuite, test_suite_accuracy
 from repro.eval.ves import valid_efficiency_score
 from repro.eval.harness import (
@@ -24,6 +31,9 @@ from repro.eval.harness import (
 from repro.eval.reporting import format_failure_report, format_table, print_table
 
 __all__ = [
+    "ConformanceReport",
+    "DialectReport",
+    "Divergence",
     "EvalResult",
     "FAILURE_CLASSES",
     "FailureRecord",
@@ -34,7 +44,9 @@ __all__ = [
     "PREDICTION_TIMEOUT",
     "PREDICTION_UNEXECUTABLE",
     "TestSuite",
+    "bundled_dataset_builders",
     "evaluate_parser",
+    "run_conformance",
     "execution_accuracy",
     "execution_match",
     "execution_match_outcome",

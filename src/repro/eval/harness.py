@@ -21,8 +21,10 @@ from repro.analysis.catalog import SchemaCatalog
 from repro.analysis.diagnostics import has_errors
 from repro.analysis.equivalence import Verdict, prove_equivalent
 from repro.datasets.base import Text2SQLDataset, Text2SQLExample
+from repro.db.backends import backend_for_dialect, create_backend
 from repro.db.database import Database
-from repro.errors import ReproError
+from repro.errors import ReproError, SQLSyntaxError
+from repro.sqlgen.dialects import transpile
 from repro.eval.execution import (
     GOLD_TIMEOUT,
     GOLD_UNEXECUTABLE,
@@ -184,6 +186,7 @@ def evaluate_parser(
     clock: Clock | None = None,
     static_eval: bool = True,
     batch: bool = False,
+    dialect: str = "sqlite",
 ) -> EvalResult:
     """Evaluate ``parser`` on one split of ``dataset``.
 
@@ -221,10 +224,26 @@ def evaluate_parser(
     across every question on that database; the per-stage cache traffic
     shows up in ``stage_timings``.  Per-stage traces are aggregated
     whenever the parser emits them, batch mode or not.
+
+    ``dialect`` (CLI ``--dialect``) runs the whole evaluation on the
+    registered backend that speaks it: every database is adapted via
+    :func:`repro.db.backends.create_backend`, gold queries are
+    transpiled into the dialect, and generation/lint/equivalence all
+    operate on that backend's SQL.  Gold queries outside the
+    transpilable subset are passed through verbatim (the backend
+    classifies them ``gold_unexecutable`` and quarantines the example).
+    The default ``"sqlite"`` is the identity: byte-for-byte the
+    historical behaviour.
     """
     examples = dataset.dev if split == "dev" else dataset.train
     if limit is not None:
         examples = examples[:limit]
+    backend_name = backend_for_dialect(dialect)
+    if dialect != "sqlite" and (compute_ts or compute_ves):
+        raise ValueError(
+            "test-suite and VES scoring require the reference sqlite "
+            f"dialect, not {dialect!r}"
+        )
     fewshot = demonstrations_per_question is not None
     if fewshot and demonstrations_per_question > 0 and demonstration_retriever is None:
         raise ValueError("few-shot evaluation needs a demonstration retriever")
@@ -235,6 +254,7 @@ def evaluate_parser(
 
     clock = clock or SYSTEM_CLOCK
     suites = suites if suites is not None else {}
+    backends: dict[str, object] = {}
     breakers: dict[str, CircuitBreaker] = {}
     analyzers: dict[str, SemanticAnalyzer] = {}
     batch = batch and hasattr(parser, "build_engine")
@@ -256,6 +276,22 @@ def evaluate_parser(
 
     for index, example in enumerate(examples):
         database = dataset.database_of(example)
+        gold_sql = example.sql
+        if dialect != "sqlite":
+            # Adapt once per database (a content snapshot, not per
+            # example) and move gold into the backend's dialect.
+            backend = backends.get(example.db_id)
+            if backend is None:
+                backend = backends[example.db_id] = create_backend(
+                    backend_name, database
+                )
+            database = backend
+            try:
+                gold_sql = transpile(example.sql, dialect)
+            except SQLSyntaxError:
+                # Outside the transpilable subset: hand the backend the
+                # verbatim text, which classifies it gold_unexecutable.
+                gold_sql = example.sql
         breaker = breakers.get(example.db_id)
         if breaker is None:
             breaker = breakers[example.db_id] = CircuitBreaker(
@@ -339,7 +375,8 @@ def evaluate_parser(
         analyzer = analyzers.get(example.db_id)
         if analyzer is None:
             analyzer = analyzers[example.db_id] = SemanticAnalyzer(
-                SchemaCatalog.from_database(database)
+                SchemaCatalog.from_database(database),
+                capabilities=getattr(database, "capabilities", None),
             )
         prediction_diags = analyzer.analyze_sql(predicted)
         for diagnostic in prediction_diags:
@@ -351,7 +388,9 @@ def evaluate_parser(
         # both queries would return identical results by construction.
         if (
             static_eval
-            and prove_equivalent(predicted, example.sql, analyzer.catalog)
+            and prove_equivalent(
+                predicted, gold_sql, analyzer.catalog, dialect=dialect
+            )
             is Verdict.EQUIVALENT
         ):
             static_equivalent += 1
@@ -362,7 +401,7 @@ def evaluate_parser(
             outcome = execution_match_outcome(
                 database,
                 predicted,
-                example.sql,
+                gold_sql,
                 deadline_s=deadline_s,
                 retry_policy=retry_policy,
                 clock=clock,

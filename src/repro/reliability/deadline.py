@@ -1,14 +1,14 @@
 """Wall-clock deadlines for SQL execution.
 
 The seed repository bounded runaway queries only by SQLite VM steps
-(:data:`repro.db.database._PROGRESS_STEPS`), which is hardware- and
+(:data:`repro.db.backends.sqlite._PROGRESS_STEPS`), which is hardware- and
 query-shape-dependent: a step budget that stops a runaway join on one
 machine lets it run for minutes on another.  A :class:`Deadline` is an
 absolute point on an injectable clock; :class:`ExecutionGuard` turns it
 into a SQLite progress handler that polls *elapsed time* every few
 thousand VM steps and aborts the statement once the budget is spent.
 
-The guard cooperates with :class:`repro.db.database.Database`'s
+The guard cooperates with :class:`repro.db.backends.sqlite.Database`'s
 progress-handler stack, so nested executions (``is_executable`` inside
 a metric loop, a beam probe inside the harness) restore the outer
 guard instead of clobbering it.
@@ -77,7 +77,7 @@ class ExecutionGuard:
     Installs a progress handler on the database's connection that
     aborts the running statement once the deadline passes.  The target
     must expose the progress-handler *stack* protocol of
-    :class:`repro.db.database.Database` (``_push_progress_handler`` /
+    :class:`repro.db.backends.sqlite.Database` (``_push_progress_handler`` /
     ``_pop_progress_handler``), which is what guarantees any
     pre-existing handler — an outer guard, the VM-step bound — is
     restored on exit rather than cleared.

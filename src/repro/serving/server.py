@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.core.ranking import SENTINEL_SQL
+from repro.db.backends import create_backend
 from repro.engine import StageCache
 from repro.errors import AllProvidersOpenError, DeadlineExceededError, ReproError
 from repro.reliability.breaker import CircuitBreaker
@@ -77,6 +78,10 @@ class ServerConfig:
     breaker_recovery_s: float = 5.0
     #: LRU bound for each per-database engine's StageCache.
     cache_capacity: int | None = 256
+    #: Execution backend every request's database is adapted into
+    #: (:func:`repro.db.backends.create_backend`); ``"sqlite"`` is the
+    #: identity and serves the reference databases untouched.
+    backend: str = "sqlite"
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -106,8 +111,14 @@ class Server:
         service_model=None,
     ):
         self.parser = parser
-        self.databases = dict(databases)
         self.config = config or ServerConfig()
+        # Adapt every database into the configured execution backend at
+        # construction time (an unknown backend fails fast here); the
+        # default "sqlite" factory is the identity.
+        self.databases = {
+            db_id: create_backend(self.config.backend, database)
+            for db_id, database in databases.items()
+        }
         self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.service_model = service_model
         self.queue = AdmissionQueue(self.config.queue_capacity)
@@ -250,9 +261,13 @@ class Server:
                 request=request,
                 reason="deadline expired before execution started",
             )
+        # The progress-handler guard is a SQLite mechanism; backends
+        # without the handler stack enforce deadlines inside their own
+        # execute() and queue-time expiry is still checked above.
         guard = (
             ExecutionGuard(database, item.deadline)
             if item.deadline is not None
+            and hasattr(database, "_push_progress_handler")
             else nullcontext()
         )
         try:

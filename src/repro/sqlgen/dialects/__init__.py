@@ -1,0 +1,86 @@
+"""Dialect dispatch for SQL emission and parsing.
+
+The sqlgen AST is dialect-neutral; this package maps it to and from the
+concrete SQL text each execution backend understands.  ``"sqlite"`` is
+the reference dialect — its emission is byte-identical to the historical
+serializer and remains the canonical form used for golden files, lint
+spans and equivalence keys.
+
+Public surface:
+
+* :func:`emitter_for` — registry lookup by dialect name.
+* :func:`serialize_dialect` — render a Query in a named dialect.
+* :func:`parse_dialect_sql` — parse dialect text (normalizing surface
+  syntax such as ``FETCH FIRST``/``TOP`` back to the core grammar).
+* :func:`transpile` — re-emit SQL text from one dialect in another.
+* :func:`register_dialect` — extension point for new emitters.
+"""
+
+from __future__ import annotations
+
+from repro.sqlgen.ast import Query
+from repro.sqlgen.dialects.ansi import ANSI_EMITTER, ANSIEmitter
+from repro.sqlgen.dialects.base import LIMIT_STYLES, DialectEmitter
+from repro.sqlgen.dialects.sqlite import SQLITE_EMITTER, SQLiteEmitter
+from repro.sqlgen.dialects.tsql import TSQL_EMITTER, TSQLEmitter
+from repro.sqlgen.parser import parse_sql
+
+#: Registered dialect emitters, keyed by dialect name (insertion order
+#: is the presentation order used by reports and CLI listings).
+DIALECTS: dict[str, DialectEmitter] = {
+    SQLITE_EMITTER.name: SQLITE_EMITTER,
+    ANSI_EMITTER.name: ANSI_EMITTER,
+    TSQL_EMITTER.name: TSQL_EMITTER,
+}
+
+
+def register_dialect(emitter: DialectEmitter) -> DialectEmitter:
+    """Register ``emitter`` under its ``name``; returns it for chaining."""
+    DIALECTS[emitter.name] = emitter
+    return emitter
+
+
+def available_dialects() -> tuple[str, ...]:
+    """Registered dialect names in presentation order."""
+    return tuple(DIALECTS)
+
+
+def emitter_for(dialect: str) -> DialectEmitter:
+    """Look up the emitter for ``dialect`` (raises KeyError if unknown)."""
+    try:
+        return DIALECTS[dialect]
+    except KeyError:
+        known = ", ".join(sorted(DIALECTS))
+        raise KeyError(f"unknown dialect {dialect!r} (known: {known})") from None
+
+
+def serialize_dialect(query: Query, dialect: str = "sqlite") -> str:
+    """Serialize ``query`` in the named dialect."""
+    return emitter_for(dialect).serialize(query)
+
+
+def parse_dialect_sql(sql: str, dialect: str = "sqlite") -> Query:
+    """Parse SQL text written in the named dialect into the neutral AST."""
+    emitter = emitter_for(dialect)
+    return parse_sql(emitter.normalize_source(sql))
+
+
+def transpile(sql: str, to_dialect: str, from_dialect: str = "sqlite") -> str:
+    """Re-emit ``sql`` (written in ``from_dialect``) as ``to_dialect`` text."""
+    return serialize_dialect(parse_dialect_sql(sql, from_dialect), to_dialect)
+
+
+__all__ = [
+    "DIALECTS",
+    "LIMIT_STYLES",
+    "ANSIEmitter",
+    "DialectEmitter",
+    "SQLiteEmitter",
+    "TSQLEmitter",
+    "available_dialects",
+    "emitter_for",
+    "parse_dialect_sql",
+    "register_dialect",
+    "serialize_dialect",
+    "transpile",
+]

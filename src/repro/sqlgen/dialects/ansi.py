@@ -1,0 +1,26 @@
+"""ANSI-flavoured dialect emitter.
+
+The dialect spoken by the in-memory columnar backend
+(:class:`repro.db.backends.columnar.ColumnarBackend`): double-quoted
+identifiers, ``FETCH FIRST n ROWS ONLY`` row limits and ``<>``
+inequality.  ``normalize_source`` (inherited, driven by
+``limit_style="fetch_first"``) folds the fetch clause back to ``LIMIT``
+so ANSI text round-trips through the sqlgen parser.
+"""
+
+from __future__ import annotations
+
+from repro.sqlgen.dialects.base import DialectEmitter
+
+
+class ANSIEmitter(DialectEmitter):
+    """Emit ANSI-style text: quoted identifiers, FETCH FIRST, ``<>``."""
+
+    name = "ansi"
+    identifier_quote = '"'
+    limit_style = "fetch_first"
+    inequality = "<>"
+
+
+#: Shared stateless instance.
+ANSI_EMITTER = ANSIEmitter()

@@ -1,0 +1,24 @@
+"""Canonical SQLite dialect emitter.
+
+This is the reference dialect: bare identifiers, ``LIMIT n`` row limits
+and ``!=`` inequality — byte-identical to the historical
+``repro.sqlgen.serializer`` output, which every golden file, lint span
+and equivalence canonical key in the repository is pinned against.
+"""
+
+from __future__ import annotations
+
+from repro.sqlgen.dialects.base import DialectEmitter
+
+
+class SQLiteEmitter(DialectEmitter):
+    """Emit canonical SQLite text (the repository's reference dialect)."""
+
+    name = "sqlite"
+    identifier_quote = ""
+    limit_style = "limit"
+    inequality = "!="
+
+
+#: Shared stateless instance used by the serializer facade.
+SQLITE_EMITTER = SQLiteEmitter()

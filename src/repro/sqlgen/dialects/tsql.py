@@ -1,0 +1,25 @@
+"""T-SQL-flavoured dialect emitter.
+
+Exercises the third row-limit spelling (``SELECT TOP n ...``) so the
+dialect layer is demonstrably capability-driven rather than a
+two-branch special case.  No execution backend speaks this dialect yet;
+it exists for emission/transpile coverage and as the template for a
+future SQL Server-class backend.
+"""
+
+from __future__ import annotations
+
+from repro.sqlgen.dialects.base import DialectEmitter
+
+
+class TSQLEmitter(DialectEmitter):
+    """Emit T-SQL-style text: ``TOP n`` limits, ``<>`` inequality."""
+
+    name = "tsql"
+    identifier_quote = ""
+    limit_style = "top"
+    inequality = "<>"
+
+
+#: Shared stateless instance.
+TSQL_EMITTER = TSQLEmitter()

@@ -1,104 +1,25 @@
-"""Render the SQL AST back to canonical SQLite text."""
+"""Serializer facade: canonical text is the SQLite dialect's emission.
+
+Historically this module *was* the SQLite serializer.  Rendering now
+lives in :mod:`repro.sqlgen.dialects`, which dispatches over per-dialect
+emitters; ``serialize``/``serialize_condition`` stay as thin aliases for
+the SQLite emitter so every existing call site — golden files, lint
+spans, equivalence canonical keys — remains byte-identical.  Code that
+targets a specific execution backend should use
+:func:`repro.sqlgen.dialects.serialize_dialect` instead.
+"""
 
 from __future__ import annotations
 
-from repro.sqlgen.ast import (
-    BetweenCondition,
-    BinaryCondition,
-    CompoundCondition,
-    Condition,
-    InCondition,
-    LikeCondition,
-    NullCondition,
-    Query,
-    render_expression,
-)
+from repro.sqlgen.ast import Condition, Query
+from repro.sqlgen.dialects.sqlite import SQLITE_EMITTER
 
 
 def serialize(query: Query) -> str:
-    """Serialize ``query`` to a single-line canonical SQL string."""
-    parts = [_serialize_simple(query)]
-    current = query
-    while current.compound_query is not None:
-        parts.append(current.compound_op.upper())
-        parts.append(_serialize_simple(current.compound_query))
-        current = current.compound_query
-    return " ".join(parts)
-
-
-def _serialize_simple(query: Query) -> str:
-    pieces: list[str] = ["SELECT"]
-    if query.distinct:
-        pieces.append("DISTINCT")
-    select_parts = []
-    for item in query.select_items:
-        text = render_expression(item.expr)
-        if item.alias:
-            text = f"{text} AS {item.alias}"
-        select_parts.append(text)
-    pieces.append(", ".join(select_parts))
-    pieces.append("FROM")
-    pieces.append(query.from_table)
-    for edge in query.joins:
-        pieces.append(
-            f"JOIN {edge.table} ON {edge.left} = {edge.right}"
-        )
-    if query.where is not None:
-        pieces.append("WHERE")
-        pieces.append(serialize_condition(query.where))
-    if query.group_by:
-        pieces.append("GROUP BY")
-        pieces.append(", ".join(str(col) for col in query.group_by))
-    if query.having is not None:
-        pieces.append("HAVING")
-        pieces.append(serialize_condition(query.having))
-    if query.order_by:
-        pieces.append("ORDER BY")
-        order_parts = []
-        for item in query.order_by:
-            direction = " DESC" if item.descending else " ASC"
-            order_parts.append(render_expression(item.expr) + direction)
-        pieces.append(", ".join(order_parts))
-    if query.limit is not None:
-        pieces.append(f"LIMIT {query.limit}")
-    return " ".join(pieces)
+    """Serialize ``query`` to a single-line canonical (SQLite) SQL string."""
+    return SQLITE_EMITTER.serialize(query)
 
 
 def serialize_condition(cond: Condition, parenthesize: bool = False) -> str:
-    """Serialize a condition tree."""
-    if isinstance(cond, BinaryCondition):
-        if isinstance(cond.right, Query):
-            right = f"( {serialize(cond.right)} )"
-        else:
-            right = render_expression(cond.right)
-        text = f"{render_expression(cond.left)} {cond.op} {right}"
-    elif isinstance(cond, InCondition):
-        keyword = "NOT IN" if cond.negated else "IN"
-        if cond.subquery is not None:
-            inner = serialize(cond.subquery)
-        else:
-            inner = ", ".join(value.render() for value in cond.values)
-        text = f"{render_expression(cond.expr)} {keyword} ( {inner} )"
-    elif isinstance(cond, BetweenCondition):
-        text = (
-            f"{render_expression(cond.expr)} BETWEEN "
-            f"{cond.low.render()} AND {cond.high.render()}"
-        )
-    elif isinstance(cond, LikeCondition):
-        keyword = "NOT LIKE" if cond.negated else "LIKE"
-        text = f"{render_expression(cond.expr)} {keyword} {cond.pattern.render()}"
-    elif isinstance(cond, NullCondition):
-        keyword = "IS NOT NULL" if cond.negated else "IS NULL"
-        text = f"{render_expression(cond.expr)} {keyword}"
-    elif isinstance(cond, CompoundCondition):
-        joiner = f" {cond.op.upper()} "
-        text = joiner.join(
-            serialize_condition(sub, parenthesize=isinstance(sub, CompoundCondition))
-            for sub in cond.conditions
-        )
-        if parenthesize:
-            text = f"( {text} )"
-        return text
-    else:
-        raise TypeError(f"not a condition node: {cond!r}")
-    return text
+    """Serialize a condition tree in the canonical (SQLite) dialect."""
+    return SQLITE_EMITTER.serialize_condition(cond, parenthesize=parenthesize)

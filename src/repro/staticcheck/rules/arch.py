@@ -404,3 +404,48 @@ class ProviderEncapsulationRule(Rule):
             module_matches(name, f"{self.PROVIDERS_PACKAGE}.{impl}")
             for impl in self.IMPL_MODULES
         )
+
+
+@register
+class SqliteContainmentRule(Rule):
+    """SQLite containment.
+
+    ``sqlite3`` may only be imported inside ``db/backends/`` — the one
+    layer that implements the :class:`repro.db.backends.ExecutionBackend`
+    protocol over the real engine.  Every other layer (engine stages,
+    analysis, eval, serving, datasets) programs against the protocol
+    and the backend's :class:`~repro.db.backends.BackendCapabilities`,
+    so adding a backend never means chasing stray ``sqlite3`` calls
+    through the codebase.  Detection is alias-aware: ``import sqlite3
+    as s3`` and ``from sqlite3 import connect`` are both caught.
+    """
+
+    id = "ARCH007"
+    severity = "error"
+    title = "sqlite3 imports outside db/backends/"
+
+    #: the only path prefix allowed to touch the driver module.
+    ALLOWLIST_PREFIXES = ("db/backends/",)
+
+    DRIVER_MODULE = "sqlite3"
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        if module.path.startswith(self.ALLOWLIST_PREFIXES):
+            return []
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for name in imported_modules(node):
+                if module_matches(name, self.DRIVER_MODULE):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "sqlite3 import outside db/backends/; program "
+                            "against the ExecutionBackend protocol "
+                            "(repro.db.backends) instead of the driver",
+                        )
+                    )
+                    break
+        return findings

@@ -768,7 +768,7 @@ def f(items):
 # defect in shipped code, not just toy fixtures.
 
 
-DATABASE_PATH = SRC_REPRO / "db" / "database.py"
+DATABASE_PATH = SRC_REPRO / "db" / "backends" / "sqlite.py"
 DATABASE_NEEDLE = "        connection = sqlite3.connect(path)\n"
 
 
@@ -790,7 +790,7 @@ class TestSeededMutationsOnRealModules:
             1,
         )
         messages = _messages(
-            mutated, path="db/database.py", rule_ids=["RES001"]
+            mutated, path="db/backends/sqlite.py", rule_ids=["RES001"]
         )
         assert any(
             "sqlite connection 'spare'" in m
@@ -809,7 +809,7 @@ class TestSeededMutationsOnRealModules:
             1,
         )
         messages = _messages(
-            mutated, path="db/database.py", rule_ids=["EXC001"]
+            mutated, path="db/backends/sqlite.py", rule_ids=["EXC001"]
         )
         assert any(
             "silently swallows ExecutionError" in m for m in messages
@@ -822,7 +822,7 @@ class TestSeededMutationsOnRealModules:
             1,
         )
         messages = _messages(
-            mutated, path="db/database.py", rule_ids=["DEAD001"]
+            mutated, path="db/backends/sqlite.py", rule_ids=["DEAD001"]
         )
         assert any(
             "dead store" in m and "'probe'" in m for m in messages
@@ -836,7 +836,7 @@ class TestSeededMutationsOnRealModules:
             needle, needle + "        connection.close()\n", 1
         )
         messages = _messages(
-            mutated, path="db/database.py", rule_ids=["DEAD001"]
+            mutated, path="db/backends/sqlite.py", rule_ids=["DEAD001"]
         )
         assert any("unreachable statement" in m for m in messages), messages
 
