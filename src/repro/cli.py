@@ -10,6 +10,8 @@ Subcommands::
     repro lint --dataset all                # audit gold SQL semantically
     repro equiv --dataset spider            # duplicate-ratio / verdict report
     repro serve --dataset spider < requests.jsonl   # one-shot JSONL serving
+    repro serve --workers 4 --transport process < requests.jsonl  # sharded
+    repro shardmap --dataset spider --workers 4 --target-workers 6
     repro loadgen --dataset spider --seed 7 # seeded open-loop load report
     repro conformance                       # cross-dialect backend audit
     repro check                             # static analysis over src/repro
@@ -21,6 +23,7 @@ Everything runs offline and deterministically.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -55,11 +58,18 @@ from repro.eval.reporting import (
 from repro.reliability import Deadline, FakeClock, RetryPolicy
 from repro.serving import (
     Completed,
+    InlineWorkerHandle,
+    ProcessWorkerHandle,
     Server,
     ServerConfig,
     ServeRequest,
     ServiceModel,
+    ShardingConfig,
+    ShardMap,
+    ShardRouter,
     Shed,
+    WorkerPool,
+    default_worker_ids,
     poisson_workload,
     run_loadgen,
 )
@@ -365,19 +375,54 @@ def _outcome_line(outcome) -> str:
     return json.dumps(payload, sort_keys=True)
 
 
+def _build_router(args: argparse.Namespace, parser, databases) -> ShardRouter:
+    """A shard router over ``--workers`` inline or process workers.
+
+    Rate limiting stays central (the router's buckets); worker servers
+    get ``rate_per_tenant=None`` so a tenant is not double-charged.
+    """
+    worker_config = dataclasses.replace(_server_config(args), rate_per_tenant=None)
+
+    def handle_factory(worker_id: str):
+        def build() -> Server:
+            return Server(parser, databases, config=worker_config)
+
+        if args.transport == "process":
+            return ProcessWorkerHandle(worker_id, build)
+        return InlineWorkerHandle(worker_id, build)
+
+    shard_map = ShardMap(
+        default_worker_ids(args.workers),
+        virtual_nodes=args.virtual_nodes,
+        seed=args.shard_seed,
+    )
+    return ShardRouter(
+        shard_map,
+        handle_factory,
+        databases.keys(),
+        config=ShardingConfig(
+            virtual_nodes=args.virtual_nodes,
+            seed=args.shard_seed,
+            rate_per_tenant=args.rate_per_tenant,
+        ),
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """One-shot serving: JSONL requests in, JSONL outcomes out.
 
     Each input line is ``{"question": ..., "db_id": ..., "id"?,
     "tenant"?, "deadline_s"?}``.  Every request is submitted, the queue
     is drained through the micro-batch scheduler, and one JSON line per
-    outcome is printed in input order.
+    outcome is printed in input order.  ``--workers N`` shards the
+    databases over N workers behind a router; ``--threads N`` drains
+    one server from a thread pool instead.  Worker/pool failures are
+    appended as their own JSONL records after the outcomes.
     """
     dataset = _build_dataset(args.dataset)
     parser = CodeSParser(args.model)
     if dataset.train:
         parser.fit(pair_samples(dataset))
-    server = Server(parser, dataset.databases, config=_server_config(args))
     handle = open(args.input, encoding="utf-8") if args.input else sys.stdin
     try:
         requests = []
@@ -399,16 +444,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.input:
             handle.close()
     outcomes = []
-    for request in requests:
-        immediate = server.submit(request)
-        if immediate is not None:
-            outcomes.append(immediate)
-    outcomes.extend(server.drain())
+    failures: list[dict] = []
+    metrics = None
+    if args.workers > 1:
+        router = _build_router(args, parser, dataset.databases)
+        try:
+            for request in requests:
+                immediate = router.submit(request)
+                if immediate is not None:
+                    outcomes.append(immediate)
+            outcomes.extend(router.drain())
+            while router.has_work():
+                router.tick()
+                router.pump()
+                outcomes.extend(router.poll())
+                if router.has_work():
+                    router.clock.sleep(0.002)
+            failures = list(router.failures)
+            if args.metrics:
+                metrics = router.metrics()
+        finally:
+            router.shutdown()
+    else:
+        server = Server(parser, dataset.databases, config=_server_config(args))
+        for request in requests:
+            immediate = server.submit(request)
+            if immediate is not None:
+                outcomes.append(immediate)
+        if args.threads > 0:
+            pool = WorkerPool(
+                server, workers=args.threads, idle_wait_s=args.idle_wait_s
+            )
+            pool.start()
+            pool.wait_for(len(requests) - len(outcomes))
+            pool.stop()
+            outcomes.extend(pool.results())
+            failures = list(pool.failures)
+        outcomes.extend(server.drain())
+        if args.metrics:
+            metrics = server.metrics()
     by_id = {outcome.request.request_id: outcome for outcome in outcomes}
     for request in requests:
         print(_outcome_line(by_id[request.request_id]))
-    if args.metrics:
-        print(format_serving_report(server.metrics()), file=sys.stderr)
+    for failure in failures:
+        print(json.dumps({"status": "worker_failure", **failure}, sort_keys=True))
+    if metrics is not None:
+        print(format_serving_report(metrics), file=sys.stderr)
+    return 0
+
+
+def _cmd_shardmap(args: argparse.Namespace) -> int:
+    """Print the shard assignment table, plus a rebalance plan diff.
+
+    ``--target-workers M`` diffs the current map against an M-worker
+    map with the same virtual nodes and seed, listing exactly which
+    databases would move — consistent hashing keeps that list minimal.
+    """
+    dataset = _build_dataset(args.dataset)
+    db_ids = sorted(dataset.databases)
+    shard_map = ShardMap(
+        default_worker_ids(args.workers),
+        virtual_nodes=args.virtual_nodes,
+        seed=args.shard_seed,
+    )
+    rows = [
+        {
+            "worker": worker_id,
+            "count": len(assigned),
+            "databases": ", ".join(assigned) if assigned else "-",
+        }
+        for worker_id, assigned in sorted(shard_map.assignments(db_ids).items())
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"shard map: {len(db_ids)} databases over {args.workers} "
+                f"workers (vnodes={args.virtual_nodes} seed={args.shard_seed})"
+            ),
+        )
+    )
+    if args.target_workers is not None:
+        new_map = ShardMap(
+            default_worker_ids(args.target_workers),
+            virtual_nodes=args.virtual_nodes,
+            seed=args.shard_seed,
+        )
+        moves = shard_map.moves(new_map, db_ids)
+        print()
+        if not moves:
+            print(f"rebalance to {args.target_workers} workers: nothing moves")
+        else:
+            print(
+                format_table(
+                    [
+                        {"database": m.db_id, "from": m.source, "to": m.target}
+                        for m in moves
+                    ],
+                    title=(
+                        f"rebalance to {args.target_workers} workers: "
+                        f"{len(moves)}/{len(db_ids)} databases move"
+                    ),
+                )
+            )
     return 0
 
 
@@ -724,6 +862,27 @@ def _add_serving_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sharding_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the databases over N workers behind a router "
+             "(1 = single-process serving, the default)",
+    )
+    subparser.add_argument(
+        "--transport", default="inline", choices=("inline", "process"),
+        help="worker transport: inline (deterministic, one process) or "
+             "process (forked children, real parallelism)",
+    )
+    subparser.add_argument(
+        "--virtual-nodes", type=int, default=64,
+        help="virtual nodes per worker on the consistent-hash ring",
+    )
+    subparser.add_argument(
+        "--shard-seed", type=int, default=0,
+        help="seed for the consistent-hash ring points",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CodeS text-to-SQL reproduction CLI"
@@ -854,8 +1013,33 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the server metrics snapshot to stderr after serving",
     )
+    serve_parser.add_argument(
+        "--threads", type=int, default=0,
+        help="drain through a thread worker pool of this size "
+             "(0 = drain synchronously); pool failures are appended "
+             "to the JSONL output",
+    )
+    serve_parser.add_argument(
+        "--idle-wait-s", type=float, default=0.05,
+        help="idle park interval for --threads workers (seconds)",
+    )
     _add_serving_flags(serve_parser)
+    _add_sharding_flags(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
+
+    shardmap_parser = sub.add_parser(
+        "shardmap",
+        help="show the consistent-hash shard assignments and a "
+             "rebalance plan diff",
+    )
+    shardmap_parser.add_argument("--dataset", default="bank_financials")
+    shardmap_parser.add_argument(
+        "--target-workers", type=int, default=None,
+        help="also print which databases move when rebalancing to "
+             "this many workers",
+    )
+    _add_sharding_flags(shardmap_parser)
+    shardmap_parser.set_defaults(func=_cmd_shardmap)
 
     loadgen_parser = sub.add_parser(
         "loadgen", help="seeded open-loop Poisson load report on a fake clock"

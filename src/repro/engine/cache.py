@@ -63,6 +63,27 @@ class StageCache:
         self.misses = 0
         self.evictions = 0
 
+    def absorb(self, other: "StageCache") -> int:
+        """Copy ``other``'s entries into this cache; returns how many.
+
+        Existing keys keep their local value (this cache's entries are
+        fresher by definition — it is the one serving traffic).  Used
+        by the sharding layer's warm handoff: when a shard moves
+        between in-process workers, the new owner absorbs the old
+        owner's warm per-database resources instead of rebuilding
+        them.  Capacity bounds still apply, evicting in LRU order.
+        """
+        copied = 0
+        for full_key, value in other._store.items():
+            if full_key in self._store:
+                continue
+            self._store[full_key] = value
+            copied += 1
+            if self.capacity is not None and len(self._store) > self.capacity:
+                self._store.pop(next(iter(self._store)))
+                self.evictions += 1
+        return copied
+
     def clear_kind(self, kind: str) -> int:
         """Evict all entries of one resource kind; returns how many."""
         doomed = [key for key in self._store if key[0] == kind]

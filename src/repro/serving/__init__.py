@@ -38,6 +38,18 @@ from repro.serving.scheduler import (
     QueuedRequest,
 )
 from repro.serving.server import Server, ServerConfig
+from repro.serving.sharding import (
+    InlineWorkerHandle,
+    ProcessWorkerHandle,
+    ShardingConfig,
+    ShardMap,
+    ShardMove,
+    ShardRouter,
+    ShardWorker,
+    default_worker_ids,
+    replay_sharded,
+    run_loadgen_sharded,
+)
 from repro.serving.worker import WorkerPool
 
 __all__ = [
@@ -49,10 +61,12 @@ __all__ = [
     "DeadlineShed",
     "DegradationLadder",
     "Failed",
+    "InlineWorkerHandle",
     "LoadgenResult",
     "MetricsAggregator",
     "MicroBatchScheduler",
     "Overloaded",
+    "ProcessWorkerHandle",
     "ProviderShed",
     "QueuedRequest",
     "RateLimited",
@@ -61,12 +75,20 @@ __all__ = [
     "ServerConfig",
     "ServerMetrics",
     "ServiceModel",
+    "ShardMap",
+    "ShardMove",
+    "ShardRouter",
+    "ShardWorker",
+    "ShardingConfig",
     "Shed",
     "TIERS",
     "TokenBucket",
     "WorkerPool",
+    "default_worker_ids",
     "nearest_rank",
     "poisson_workload",
     "replay",
+    "replay_sharded",
     "run_loadgen",
+    "run_loadgen_sharded",
 ]

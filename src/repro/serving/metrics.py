@@ -8,6 +8,13 @@ nearest-rank method over completed requests' end-to-end latencies
 per-stage wall-time breakdown aggregates each request's
 ``TraceRecorder`` output — the same numbers ``repro trace`` prints for
 a single request, summed across the fleet.
+
+Snapshots are *mergeable*: :meth:`ServerMetrics.merge` folds per-shard
+snapshots into one cluster view.  Counters add exactly; percentiles
+are recomputed from the pooled latency samples each snapshot carries
+(sample-merge), never by averaging the per-shard percentiles — the
+p95 of a hot shard and a cold shard tells you nothing about the p95 of
+their union, but the pooled samples do, exactly.
 """
 
 from __future__ import annotations
@@ -63,10 +70,85 @@ class ServerMetrics:
     provider_sheds: int = 0
     #: Per-database breaker snapshots (``BreakerStats.as_dict`` form).
     database_breakers: tuple[dict, ...] = ()
+    #: Raw end-to-end latency samples (one per completed request) and
+    #: queue-wait samples.  These make snapshots mergeable: the pooled
+    #: samples are the ground truth the merged percentiles/means are
+    #: recomputed from.  Plain floats, so snapshots stay picklable
+    #: across the sharding layer's process boundary.
+    latency_samples: tuple[float, ...] = ()
+    queue_wait_samples: tuple[float, ...] = ()
 
     @property
     def shed_total(self) -> int:
         return sum(self.shed.values())
+
+    @staticmethod
+    def merge(*snapshots: "ServerMetrics") -> "ServerMetrics":
+        """Fold per-shard snapshots into one cluster snapshot.
+
+        Exact for every counter (sums, dict-sums), and exact for the
+        percentiles too: p50/p95 are recomputed with nearest-rank over
+        the union of every snapshot's ``latency_samples``, which is
+        byte-identical to what a single aggregator observing all the
+        outcomes would have reported.  Averaging per-shard percentiles
+        would be wrong; pooling samples is not.  Provider and breaker
+        rows are concatenated (each shard owns disjoint routers and
+        breakers), with gauge-like provider counters summed.
+        """
+        if not snapshots:
+            return MetricsAggregator().snapshot()
+        latencies: list[float] = []
+        queue_waits: list[float] = []
+        shed: dict[str, int] = {}
+        tiers: dict[str, int] = {}
+        stage_wall_s: dict[str, float] = {}
+        providers: list[dict] = []
+        database_breakers: list[dict] = []
+        batches = 0
+        batched_items = 0.0
+        for snapshot in snapshots:
+            latencies.extend(snapshot.latency_samples)
+            queue_waits.extend(snapshot.queue_wait_samples)
+            for reason, count in sorted(snapshot.shed.items()):
+                shed[reason] = shed.get(reason, 0) + count
+            for tier, count in sorted(snapshot.tiers.items()):
+                tiers[tier] = tiers.get(tier, 0) + count
+            for stage, wall in sorted(snapshot.stage_wall_s.items()):
+                stage_wall_s[stage] = stage_wall_s.get(stage, 0.0) + wall
+            providers.extend(snapshot.providers)
+            database_breakers.extend(snapshot.database_breakers)
+            batches += snapshot.batches
+            batched_items += snapshot.mean_batch_occupancy * snapshot.batches
+        return ServerMetrics(
+            queue_depth=sum(s.queue_depth for s in snapshots),
+            admitted=sum(s.admitted for s in snapshots),
+            completed=sum(s.completed for s in snapshots),
+            failed=sum(s.failed for s in snapshots),
+            shed=shed,
+            tiers=tiers,
+            p50_latency_s=nearest_rank(latencies, 50),
+            p95_latency_s=nearest_rank(latencies, 95),
+            mean_queue_s=(
+                sum(queue_waits) / len(queue_waits) if queue_waits else 0.0
+            ),
+            batches=batches,
+            mean_batch_occupancy=(batched_items / batches if batches else 0.0),
+            cache_hits=sum(s.cache_hits for s in snapshots),
+            cache_misses=sum(s.cache_misses for s in snapshots),
+            cache_evictions=sum(s.cache_evictions for s in snapshots),
+            stage_wall_s=stage_wall_s,
+            providers=tuple(providers),
+            provider_requests=sum(s.provider_requests for s in snapshots),
+            provider_failovers=sum(s.provider_failovers for s in snapshots),
+            provider_retries=sum(s.provider_retries for s in snapshots),
+            hedges_fired=sum(s.hedges_fired for s in snapshots),
+            hedge_wins=sum(s.hedge_wins for s in snapshots),
+            hedge_discarded=sum(s.hedge_discarded for s in snapshots),
+            provider_sheds=shed.get("provider_shed", 0),
+            database_breakers=tuple(database_breakers),
+            latency_samples=tuple(latencies),
+            queue_wait_samples=tuple(queue_waits),
+        )
 
     def as_rows(self) -> list[dict[str, object]]:
         """Key/value rows for :func:`repro.eval.reporting.format_table`."""
@@ -227,4 +309,6 @@ class MetricsAggregator:
                 hedge_discarded=int(router.get("hedge_discarded", 0)),
                 provider_sheds=self._shed.get("provider_shed", 0),
                 database_breakers=tuple(breaker_stats or ()),
+                latency_samples=tuple(self._latencies),
+                queue_wait_samples=tuple(self._queue_waits),
             )

@@ -33,7 +33,12 @@ from typing import TYPE_CHECKING, Mapping
 from repro.core.ranking import SENTINEL_SQL
 from repro.db.backends import create_backend
 from repro.engine import StageCache
-from repro.errors import AllProvidersOpenError, DeadlineExceededError, ReproError
+from repro.errors import (
+    AllProvidersOpenError,
+    DeadlineExceededError,
+    ReproError,
+    ServingError,
+)
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.clock import Clock, SYSTEM_CLOCK
 from repro.reliability.deadline import Deadline, ExecutionGuard
@@ -306,6 +311,53 @@ class Server:
             queue_s=queue_s,
             trace=getattr(result, "trace", None),
         )
+
+    # -- warm / drain handoff (sharding support) -----------------------------
+
+    def warm(self, db_id: str) -> None:
+        """Eagerly build the per-database execution state for ``db_id``.
+
+        The sharding layer's rebalance protocol calls this on the new
+        shard owner before the map swap, so the first post-swap request
+        lands on a warm engine, breaker, and lock instead of paying the
+        cold build inside its own latency.
+        """
+        if db_id not in self.databases:
+            raise ServingError(f"cannot warm unknown database {db_id!r}")
+        self._engine_for(db_id)
+        self._breaker_for(db_id)
+        self._db_lock_for(db_id)
+
+    def handoff(self, db_id: str):
+        """Release and return the warm engine for ``db_id`` (or ``None``).
+
+        The old shard owner gives up its engine after draining; an
+        inline-transport peer can :meth:`adopt` it, keeping the stage
+        cache warm across the ownership change.  The breaker stays
+        behind — its failure history describes *this* worker's view of
+        the database and is folded into metrics instead of migrating.
+        """
+        with self._resources_lock:
+            return self._engines.pop(db_id, None)
+
+    def adopt(self, db_id: str, engine) -> None:
+        """Install a handed-off warm engine for ``db_id``.
+
+        If this server already built its own engine for the database,
+        the warmer of the two caches wins by absorbing the other's
+        entries (see :meth:`repro.engine.StageCache.absorb`).
+        """
+        if engine is None:
+            return
+        with self._resources_lock:
+            existing = self._engines.get(db_id)
+            if existing is None:
+                self._engines[db_id] = engine
+                return
+            mine = getattr(existing, "cache", None)
+            theirs = getattr(engine, "cache", None)
+            if mine is not None and theirs is not None:
+                mine.absorb(theirs)
 
     # -- per-resource state --------------------------------------------------
 

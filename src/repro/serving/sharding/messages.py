@@ -1,0 +1,126 @@
+"""The typed message vocabulary between the shard router and workers.
+
+Every frame crossing a worker boundary — an OS pipe for process
+workers, a plain method call for inline workers — is one of these
+frozen dataclasses.  They carry only plain data (requests, outcome
+records, frozen metric snapshots), so the same protocol pickles across
+the process boundary and stays trivially deterministic in inline mode.
+
+Commands flow router → worker; events flow worker → router.  The
+``Completed.trace`` field is stripped before an outcome crosses a real
+process boundary (traces hold live engine objects); inline transport
+keeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.metrics import ServerMetrics
+    from repro.serving.outcomes import ServeRequest
+
+
+# -- commands (router -> worker) ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class Submit:
+    """Dispatch one admitted request to its shard owner."""
+
+    request: "ServeRequest"
+
+
+@dataclass(frozen=True)
+class Warm:
+    """Pre-build engines/breakers for ``db_ids`` before traffic arrives.
+
+    Sent to the *new* owner during a rebalance so the first real
+    request after the map swap hits a warm engine, not a cold build.
+    """
+
+    db_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Drain:
+    """Finish all queued work, then acknowledge with :class:`Drained`.
+
+    ``db_ids`` names the shards being moved away (bookkeeping for the
+    ack); the worker drains its whole queue either way — queued work is
+    never abandoned mid-rebalance.
+    """
+
+    db_ids: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness probe; the worker answers with :class:`HeartbeatAck`."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Ask for a frozen :class:`~repro.serving.metrics.ServerMetrics`."""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Stop the worker loop after the current step."""
+
+
+# -- events (worker -> router) -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class OutcomeMsg:
+    """One terminal outcome for a previously submitted request."""
+
+    worker_id: str
+    outcome: object
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Liveness answer, carrying the worker's current queue depth."""
+
+    worker_id: str
+    seq: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class MetricsMsg:
+    """A frozen per-shard metrics snapshot."""
+
+    worker_id: str
+    snapshot: "ServerMetrics"
+
+
+@dataclass(frozen=True)
+class Drained:
+    """All queued work finished after a :class:`Drain` command."""
+
+    worker_id: str
+    db_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """A classified unexpected error from inside the worker loop."""
+
+    worker_id: str
+    error: str
+
+
+def picklable_event(event: object) -> object:
+    """Strip live objects (traces) from an event before pickling it."""
+    if isinstance(event, OutcomeMsg) and getattr(event.outcome, "trace", None) is not None:
+        return OutcomeMsg(
+            worker_id=event.worker_id,
+            outcome=replace(event.outcome, trace=None),
+        )
+    return event

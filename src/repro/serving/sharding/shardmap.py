@@ -1,0 +1,142 @@
+"""Consistent-hash shard assignment over database ids.
+
+A :class:`ShardMap` places every worker at ``virtual_nodes`` seeded
+points on a hash ring and assigns each ``db_id`` to the first worker
+point clockwise of the database's own point.  Hashing uses
+``blake2b`` over explicit strings, so ownership is a pure function of
+``(workers, virtual_nodes, seed)`` — independent of PYTHONHASHSEED,
+process, and platform — and the classic consistent-hashing property
+holds: adding or removing one worker moves only the databases whose
+ring arcs changed hands, which is what keeps rebalances cheap (only
+the moved shards drain and re-warm).
+
+Maps are immutable; :meth:`with_workers` / :meth:`add_worker` /
+:meth:`remove_worker` derive new maps, and :meth:`moves` diffs two
+maps into the explicit rebalance plan the router executes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def _ring_point(seed: int, label: str) -> int:
+    """A deterministic 64-bit ring position for ``label``."""
+    digest = hashlib.blake2b(
+        f"{seed}:{label}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class ShardMove:
+    """One database changing owners between two shard maps."""
+
+    db_id: str
+    source: str
+    target: str
+
+
+class ShardMap:
+    """Deterministic consistent-hash ring over worker ids."""
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        virtual_nodes: int = 64,
+        seed: int = 0,
+    ):
+        if not workers:
+            raise ValueError("a shard map needs at least one worker")
+        if len(set(workers)) != len(workers):
+            raise ValueError(f"duplicate worker ids in {list(workers)}")
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.workers: tuple[str, ...] = tuple(sorted(workers))
+        self.virtual_nodes = virtual_nodes
+        self.seed = seed
+        # Ties on ring points (astronomically unlikely, but the map
+        # must be total) break by worker id, keeping the ring a pure
+        # function of the constructor arguments.
+        ring = sorted(
+            (_ring_point(seed, f"{worker}#{index}"), worker)
+            for worker in self.workers
+            for index in range(virtual_nodes)
+        )
+        self._points = [point for point, _ in ring]
+        self._owners = [worker for _, worker in ring]
+
+    # -- ownership -----------------------------------------------------------
+
+    def owner(self, db_id: str) -> str:
+        """The worker owning ``db_id`` — first ring point clockwise."""
+        point = _ring_point(self.seed, f"db:{db_id}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assignments(self, db_ids: Iterable[str]) -> dict[str, tuple[str, ...]]:
+        """Per-worker sorted shard lists; every worker appears, even empty."""
+        table: dict[str, list[str]] = {worker: [] for worker in self.workers}
+        for db_id in sorted(set(db_ids)):
+            table[self.owner(db_id)].append(db_id)
+        return {worker: tuple(table[worker]) for worker in self.workers}
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_workers(self, workers: Sequence[str]) -> "ShardMap":
+        """A map over ``workers`` with this map's vnode count and seed."""
+        return ShardMap(workers, virtual_nodes=self.virtual_nodes, seed=self.seed)
+
+    def add_worker(self, worker_id: str) -> "ShardMap":
+        if worker_id in self.workers:
+            raise ValueError(f"worker {worker_id!r} already in the map")
+        return self.with_workers((*self.workers, worker_id))
+
+    def remove_worker(self, worker_id: str) -> "ShardMap":
+        if worker_id not in self.workers:
+            raise ValueError(f"worker {worker_id!r} not in the map")
+        return self.with_workers(
+            tuple(worker for worker in self.workers if worker != worker_id)
+        )
+
+    def moves(
+        self, new_map: "ShardMap", db_ids: Iterable[str]
+    ) -> tuple[ShardMove, ...]:
+        """The databases that change owners going from this map to ``new_map``."""
+        return tuple(
+            ShardMove(db_id=db_id, source=self.owner(db_id), target=new_map.owner(db_id))
+            for db_id in sorted(set(db_ids))
+            if self.owner(db_id) != new_map.owner(db_id)
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return (
+            self.workers == other.workers
+            and self.virtual_nodes == other.virtual_nodes
+            and self.seed == other.seed
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.workers, self.virtual_nodes, self.seed))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(workers={list(self.workers)}, "
+            f"virtual_nodes={self.virtual_nodes}, seed={self.seed})"
+        )
+
+
+def default_worker_ids(n: int) -> tuple[str, ...]:
+    """The canonical worker naming: ``w0 .. w{n-1}``."""
+    if n < 1:
+        raise ValueError(f"worker count must be >= 1, got {n}")
+    return tuple(f"w{index}" for index in range(n))

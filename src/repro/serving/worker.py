@@ -14,20 +14,29 @@ import threading
 
 from repro.errors import ServingError
 
-#: How long an idle worker parks on the queue's condition variable
-#: before re-checking the stop flag (real seconds; bounds shutdown
-#: latency, not throughput — arrivals notify the condition).
+#: Default for :class:`WorkerPool`'s ``idle_wait_s``: how long an idle
+#: worker parks on the queue's condition variable before re-checking
+#: the stop flag (real seconds; bounds shutdown latency, not
+#: throughput — arrivals notify the condition).
 IDLE_WAIT_S = 0.05
 
 
 class WorkerPool:
-    """Threads repeatedly calling ``server.step()`` until stopped."""
+    """Threads repeatedly calling ``server.step()`` until stopped.
 
-    def __init__(self, server, workers: int = 2):
+    ``idle_wait_s`` is per-pool: tests shrink it so shutdown and
+    ``wait_for`` polling resolve in milliseconds, while long-running
+    deployments can stretch it to cut idle wakeups.
+    """
+
+    def __init__(self, server, workers: int = 2, idle_wait_s: float = IDLE_WAIT_S):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if idle_wait_s <= 0:
+            raise ValueError(f"idle_wait_s must be positive, got {idle_wait_s}")
         self.server = server
         self.workers = workers
+        self.idle_wait_s = idle_wait_s
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -62,7 +71,7 @@ class WorkerPool:
                 with self._lock:
                     self._outcomes.extend(outcomes)
             else:
-                self.server.queue.wait_nonempty(IDLE_WAIT_S)
+                self.server.queue.wait_nonempty(self.idle_wait_s)
 
     def stop(self) -> None:
         """Signal workers to exit and join them."""
@@ -84,8 +93,8 @@ class WorkerPool:
                     return True
             if waited >= timeout_s or self._stop.is_set():
                 return False
-            self._stop.wait(IDLE_WAIT_S)
-            waited += IDLE_WAIT_S
+            self._stop.wait(self.idle_wait_s)
+            waited += self.idle_wait_s
 
     def results(self) -> list:
         """Outcomes collected so far (snapshot copy)."""

@@ -1,4 +1,4 @@
-"""ARCH001–ARCH006: the architectural rules, on real AST visitors.
+"""ARCH001–ARCH008: the architectural rules, on real AST visitors.
 
 Ported from the original ``scripts/arch_lint.py`` core (that script is
 now a shim over this registry).  The port closes the old
@@ -448,4 +448,82 @@ class SqliteContainmentRule(Rule):
                         )
                     )
                     break
+        return findings
+
+
+@register
+class IPCContainmentRule(Rule):
+    """Cross-process IPC containment.
+
+    ``multiprocessing`` and ``concurrent.futures`` may only be
+    imported inside ``serving/sharding/`` — the transport layer that
+    owns worker processes — and pipe/queue IPC primitives
+    (``multiprocessing.Pipe``/``Queue``/``Manager``,
+    ``ProcessPoolExecutor``) may only be *constructed* there.  ARCH005
+    contains thread primitives to ``serving/`` + ``reliability/``;
+    this rule narrows the process toolbox further: everything
+    cross-process speaks the sharding message protocol through a
+    :class:`~repro.serving.sharding.transport.WorkerHandle`, so fork
+    semantics, pickling constraints, and pipe lifecycles are audited
+    in exactly one place.  Detection is alias-aware: ``import
+    multiprocessing as mp; mp.Pipe()`` and ``from multiprocessing
+    import Pipe`` are both caught.
+    """
+
+    id = "ARCH008"
+    severity = "error"
+    title = "multiprocessing/IPC primitives outside serving/sharding/"
+
+    #: the only path prefix allowed to speak cross-process.
+    ALLOWLIST_PREFIXES = ("serving/sharding/",)
+
+    PROCESS_MODULES = ("multiprocessing", "concurrent.futures")
+
+    #: qualified call targets that construct IPC channels/executors.
+    IPC_CONSTRUCTORS = frozenset(
+        {
+            "multiprocessing.Pipe",
+            "multiprocessing.Queue",
+            "multiprocessing.SimpleQueue",
+            "multiprocessing.JoinableQueue",
+            "multiprocessing.Manager",
+            "multiprocessing.connection.Pipe",
+            "concurrent.futures.ProcessPoolExecutor",
+        }
+    )
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        if module.path.startswith(self.ALLOWLIST_PREFIXES):
+            return []
+        imports = ImportTable.from_tree(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for name in imported_modules(node):
+                    if any(
+                        module_matches(name, banned)
+                        for banned in self.PROCESS_MODULES
+                    ):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"cross-process import ({name}) outside "
+                                "serving/sharding/; worker processes are "
+                                "reached through the sharding transport",
+                            )
+                        )
+                        break
+            elif isinstance(node, ast.Call):
+                resolved = imports.resolve(node.func)
+                if resolved in self.IPC_CONSTRUCTORS:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"IPC primitive {resolved}() constructed "
+                            "outside serving/sharding/; pipes and process "
+                            "pools live behind the WorkerHandle transport",
+                        )
+                    )
         return findings

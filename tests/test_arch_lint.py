@@ -201,9 +201,11 @@ class TestConcurrencyRule:
 
     def test_queue_and_multiprocessing_flagged(self):
         assert _rules("import queue\n") == ["ARCH005"]
-        assert _rules("import multiprocessing\n") == ["ARCH005"]
+        # process-level primitives also break the stricter ARCH008 zone
+        assert _rules("import multiprocessing\n") == ["ARCH005", "ARCH008"]
         assert _rules("from concurrent.futures import ThreadPoolExecutor\n") == [
-            "ARCH005"
+            "ARCH005",
+            "ARCH008",
         ]
 
     def test_one_violation_per_import_statement(self):
@@ -217,6 +219,50 @@ class TestConcurrencyRule:
         source = "import threading\nfrom queue import Queue\n"
         assert _rules(source, path="serving/mod.py") == []
         assert _rules(source, path="reliability/mod.py") == []
+
+
+class TestIPCContainmentRule:
+    def test_multiprocessing_import_flagged_even_in_serving(self):
+        # serving/ satisfies ARCH005, but only sharding/ may fork.
+        assert _rules("import multiprocessing\n", path="serving/mod.py") == [
+            "ARCH008"
+        ]
+        assert _rules(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            path="serving/worker.py",
+        ) == ["ARCH008"]
+        assert _rules("import multiprocessing\n", path="reliability/mod.py") == [
+            "ARCH008"
+        ]
+
+    def test_pipe_construction_flagged(self):
+        source = "import multiprocessing\na, b = multiprocessing.Pipe()\n"
+        assert _rules(source, path="serving/mod.py") == ["ARCH008", "ARCH008"]
+
+    def test_aliased_pipe_construction_flagged(self):
+        source = "import multiprocessing as mp\na, b = mp.Pipe()\n"
+        assert _rules(source, path="serving/mod.py") == ["ARCH008", "ARCH008"]
+
+    def test_from_import_queue_construction_flagged(self):
+        source = "from multiprocessing import Queue\nq = Queue()\n"
+        assert _rules(source, path="serving/mod.py") == ["ARCH008", "ARCH008"]
+
+    def test_sharding_transport_exempt(self):
+        source = (
+            "import multiprocessing\n"
+            "a, b = multiprocessing.Pipe()\n"
+            "p = multiprocessing.get_context('fork')\n"
+        )
+        assert _rules(source, path="serving/sharding/transport.py") == []
+        assert _rules(source, path="serving/sharding/mod.py") == []
+
+    def test_lookalike_modules_clean(self):
+        assert _rules("import multiprocessing_utils\n") == []
+        assert _rules("import concurrent_log\n") == []
+
+    def test_threading_not_this_rules_business(self):
+        # thread primitives stay ARCH005's concern; serving/ is legal.
+        assert _rules("import threading\n", path="serving/mod.py") == []
 
 
 class TestProviderEncapsulationRule:

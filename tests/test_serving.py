@@ -126,6 +126,89 @@ class TestAdmissionQueue:
         assert len(queue.pop_group(2, key_fn=lambda item: "a")) == 2
         assert queue.depth == 3
 
+    def test_pop_group_atomic_under_racing_consumers(self):
+        # Mirrors the breaker half-open race test: consumers lined up
+        # on a barrier must never split one key's contiguous batch,
+        # lose an item, or pop one twice.
+        import threading
+
+        queue = AdmissionQueue(64)
+        items = [(f"db{index % 2}", index) for index in range(32)]
+        for item in items:
+            assert queue.offer(item)
+
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        groups: list[list] = []
+        groups_lock = threading.Lock()
+
+        def race():
+            barrier.wait()
+            while True:
+                group = queue.pop_group(4, key_fn=lambda item: item[0])
+                if not group:
+                    return
+                with groups_lock:
+                    groups.append(group)
+
+        threads = [threading.Thread(target=race) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        popped = [item for group in groups for item in group]
+        # exactly-once: nothing lost, nothing duplicated
+        assert sorted(popped, key=lambda item: item[1]) == items
+        for group in groups:
+            # atomicity: one database per group, arrival order kept
+            assert len({key for key, _ in group}) == 1
+            sequence = [index for _, index in group]
+            assert sequence == sorted(sequence)
+
+    def test_deadline_expiry_shedding_under_concurrent_producers(self):
+        # Producers race submissions through admission while holding
+        # short deadlines; advancing the clock past them must shed
+        # every queued request exactly once — no outcome lost to the
+        # producer race, none resolved twice.
+        import threading
+
+        clock = FakeClock()
+        server = _server(clock, queue_capacity=64)
+        n_threads, per_thread = 8, 4
+        barrier = threading.Barrier(n_threads)
+        immediate: list = []
+        immediate_lock = threading.Lock()
+
+        def produce(thread_index: int):
+            barrier.wait()
+            for j in range(per_thread):
+                outcome = server.submit(
+                    _request(f"{thread_index}-{j}", deadline_s=0.5)
+                )
+                if outcome is not None:
+                    with immediate_lock:
+                        immediate.append(outcome)
+
+        threads = [
+            threading.Thread(target=produce, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = n_threads * per_thread
+        assert server.queue.depth + len(immediate) == total
+        clock.advance(1.0)  # every queued deadline expires
+        drained = server.drain()
+        outcomes = immediate + drained
+        assert len(outcomes) == total
+        assert len({o.request.request_id for o in outcomes}) == total
+        assert all(isinstance(o, DeadlineShed) for o in drained)
+        assert server.queue.depth == 0
+
 
 class TestTokenBucket:
     def test_burst_then_refill_on_fake_clock(self):
@@ -460,3 +543,12 @@ class TestWorkerPool:
                 pool.start()
         finally:
             pool.stop()
+
+    def test_idle_wait_is_per_pool(self):
+        server = _server(FakeClock())
+        pool = WorkerPool(server, workers=1, idle_wait_s=0.001)
+        assert pool.idle_wait_s == 0.001
+        # a fast idle wait keeps wait_for's polling granularity tight
+        assert not pool.wait_for(1, timeout_s=0.01)
+        with pytest.raises(ValueError):
+            WorkerPool(server, workers=1, idle_wait_s=0.0)

@@ -769,7 +769,9 @@ def f(items):
 
 
 DATABASE_PATH = SRC_REPRO / "db" / "backends" / "sqlite.py"
-DATABASE_NEEDLE = "        connection = sqlite3.connect(path)\n"
+DATABASE_NEEDLE = (
+    "        connection = sqlite3.connect(path, check_same_thread=False)\n"
+)
 
 
 class TestSeededMutationsOnRealModules:
