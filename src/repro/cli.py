@@ -453,6 +453,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 immediate = router.submit(request)
                 if immediate is not None:
                     outcomes.append(immediate)
+            # Classify any already-crashed worker before draining:
+            # drain() skips down workers (a dead worker never acks),
+            # and the recovery loop below restarts them and finishes
+            # their re-dispatched work.
+            router.tick()
             outcomes.extend(router.drain())
             while router.has_work():
                 router.tick()

@@ -67,22 +67,33 @@ class StageCache:
         """Copy ``other``'s entries into this cache; returns how many.
 
         Existing keys keep their local value (this cache's entries are
-        fresher by definition — it is the one serving traffic).  Used
-        by the sharding layer's warm handoff: when a shard moves
-        between in-process workers, the new owner absorbs the old
-        owner's warm per-database resources instead of rebuilding
-        them.  Capacity bounds still apply, evicting in LRU order.
+        fresher by definition — it is the one serving traffic), and
+        absorbed entries enter at the *LRU* end for the same reason:
+        under later capacity pressure the donor's cold entries evict
+        before anything this cache was actively using.  Absorbing
+        never evicts local entries — when capacity is short, only the
+        donor's most recently used entries are taken and the rest are
+        dropped.  Used by the sharding layer's warm handoff: when a
+        shard moves between in-process workers, the new owner absorbs
+        the old owner's warm per-database resources instead of
+        rebuilding them.
         """
-        copied = 0
-        for full_key, value in other._store.items():
-            if full_key in self._store:
-                continue
-            self._store[full_key] = value
-            copied += 1
-            if self.capacity is not None and len(self._store) > self.capacity:
-                self._store.pop(next(iter(self._store)))
-                self.evictions += 1
-        return copied
+        fresh = {
+            full_key: value
+            for full_key, value in other._store.items()
+            if full_key not in self._store
+        }
+        if self.capacity is not None:
+            room = self.capacity - len(self._store)
+            if room <= 0:
+                return 0
+            if len(fresh) > room:
+                fresh = dict(list(fresh.items())[-room:])
+        if fresh:
+            merged = dict(fresh)
+            merged.update(self._store)
+            self._store = merged
+        return len(fresh)
 
     def clear_kind(self, kind: str) -> int:
         """Evict all entries of one resource kind; returns how many."""

@@ -16,7 +16,12 @@ from repro.serving.loadgen import (
     replay,
     run_loadgen,
 )
-from repro.serving.metrics import MetricsAggregator, ServerMetrics, nearest_rank
+from repro.serving.metrics import (
+    SAMPLE_CAPACITY,
+    MetricsAggregator,
+    ServerMetrics,
+    nearest_rank,
+)
 from repro.serving.outcomes import (
     BreakerShed,
     Completed,
@@ -64,6 +69,7 @@ __all__ = [
     "InlineWorkerHandle",
     "LoadgenResult",
     "MetricsAggregator",
+    "SAMPLE_CAPACITY",
     "MicroBatchScheduler",
     "Overloaded",
     "ProcessWorkerHandle",

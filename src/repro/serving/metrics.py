@@ -21,20 +21,47 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.serving.outcomes import Completed, Failed, Shed
 
+#: Default bound on the raw samples an aggregator retains and a
+#: snapshot carries.  Without a bound, per-request history grows (and
+#: is pickled across the sharding layer's process pipe) linearly with
+#: total completed requests — a long-running server would degrade
+#: unboundedly.  Below the cap everything is exact; past it the
+#: percentiles become a deterministic approximation (see
+#: :meth:`ServerMetrics.merge`) while every counter and mean stays
+#: exact.
+SAMPLE_CAPACITY = 4096
 
-def nearest_rank(values: list[float], percentile: float) -> float:
+
+def nearest_rank(values: "Iterable[float]", percentile: float) -> float:
     """Nearest-rank percentile of ``values``; 0.0 for an empty list."""
-    if not values:
+    ordered = sorted(values)
+    if not ordered:
         return 0.0
     if not 0 < percentile <= 100:
         raise ValueError(f"percentile must be in (0, 100], got {percentile}")
-    ordered = sorted(values)
     rank = max(1, math.ceil(percentile / 100.0 * len(ordered)))
     return ordered[rank - 1]
+
+
+def _downsample(values: list[float], capacity: int | None) -> tuple[float, ...]:
+    """Deterministically thin ``values`` to at most ``capacity`` samples.
+
+    Sorted-stride selection: the kept samples are evenly spaced ranks
+    of the sorted pool, so downstream nearest-rank percentiles stay
+    close to the full-pool values without carrying the full history.
+    """
+    if capacity is None or len(values) <= capacity:
+        return tuple(values)
+    ordered = sorted(values)
+    step = len(ordered) / capacity
+    last = len(ordered) - 1
+    return tuple(ordered[min(last, int(i * step))] for i in range(capacity))
 
 
 @dataclass(frozen=True)
@@ -70,11 +97,16 @@ class ServerMetrics:
     provider_sheds: int = 0
     #: Per-database breaker snapshots (``BreakerStats.as_dict`` form).
     database_breakers: tuple[dict, ...] = ()
-    #: Raw end-to-end latency samples (one per completed request) and
-    #: queue-wait samples.  These make snapshots mergeable: the pooled
-    #: samples are the ground truth the merged percentiles/means are
-    #: recomputed from.  Plain floats, so snapshots stay picklable
-    #: across the sharding layer's process boundary.
+    #: Raw end-to-end latency samples and queue-wait samples.  These
+    #: make snapshots mergeable: the pooled samples are the ground
+    #: truth the merged percentiles are recomputed from.  Plain
+    #: floats, so snapshots stay picklable across the sharding layer's
+    #: process boundary — and bounded (``SAMPLE_CAPACITY``), so the
+    #: pipe payload does not grow with total requests served.  Below
+    #: the cap these are the complete history (one latency per
+    #: completed request); past it they are a deterministic subsample
+    #: and percentiles become approximate, while counters and means
+    #: stay exact.
     latency_samples: tuple[float, ...] = ()
     queue_wait_samples: tuple[float, ...] = ()
 
@@ -83,17 +115,26 @@ class ServerMetrics:
         return sum(self.shed.values())
 
     @staticmethod
-    def merge(*snapshots: "ServerMetrics") -> "ServerMetrics":
+    def merge(
+        *snapshots: "ServerMetrics",
+        sample_capacity: int | None = SAMPLE_CAPACITY,
+    ) -> "ServerMetrics":
         """Fold per-shard snapshots into one cluster snapshot.
 
-        Exact for every counter (sums, dict-sums), and exact for the
-        percentiles too: p50/p95 are recomputed with nearest-rank over
-        the union of every snapshot's ``latency_samples``, which is
-        byte-identical to what a single aggregator observing all the
-        outcomes would have reported.  Averaging per-shard percentiles
-        would be wrong; pooling samples is not.  Provider and breaker
-        rows are concatenated (each shard owns disjoint routers and
-        breakers), with gauge-like provider counters summed.
+        Exact for every counter (sums, dict-sums) and for the queue
+        mean (weighted by each shard's completed count).  p50/p95 are
+        recomputed with nearest-rank over the union of every
+        snapshot's ``latency_samples`` — byte-identical to what a
+        single aggregator observing all the outcomes would have
+        reported, as long as every input carries its full history
+        (i.e. stayed under ``SAMPLE_CAPACITY``).  Past the cap the
+        inputs are already subsampled, so merged percentiles become a
+        deterministic approximation; averaging per-shard percentiles
+        would be *wrong*, pooling samples is not.  The merged snapshot
+        carries at most ``sample_capacity`` pooled samples itself, so
+        repeated folds stay bounded.  Provider and breaker rows are
+        concatenated (each shard owns disjoint routers and breakers),
+        with gauge-like provider counters summed.
         """
         if not snapshots:
             return MetricsAggregator().snapshot()
@@ -119,18 +160,22 @@ class ServerMetrics:
             database_breakers.extend(snapshot.database_breakers)
             batches += snapshot.batches
             batched_items += snapshot.mean_batch_occupancy * snapshot.batches
+        completed = sum(s.completed for s in snapshots)
+        # Weighted by completed counts this is exact even when the
+        # carried queue_wait_samples are a capped subsample: each
+        # shard's mean was computed from running totals over *all* its
+        # completions.
+        queued_total = sum(s.mean_queue_s * s.completed for s in snapshots)
         return ServerMetrics(
             queue_depth=sum(s.queue_depth for s in snapshots),
             admitted=sum(s.admitted for s in snapshots),
-            completed=sum(s.completed for s in snapshots),
+            completed=completed,
             failed=sum(s.failed for s in snapshots),
             shed=shed,
             tiers=tiers,
             p50_latency_s=nearest_rank(latencies, 50),
             p95_latency_s=nearest_rank(latencies, 95),
-            mean_queue_s=(
-                sum(queue_waits) / len(queue_waits) if queue_waits else 0.0
-            ),
+            mean_queue_s=(queued_total / completed if completed else 0.0),
             batches=batches,
             mean_batch_occupancy=(batched_items / batches if batches else 0.0),
             cache_hits=sum(s.cache_hits for s in snapshots),
@@ -146,8 +191,8 @@ class ServerMetrics:
             hedge_discarded=sum(s.hedge_discarded for s in snapshots),
             provider_sheds=shed.get("provider_shed", 0),
             database_breakers=tuple(database_breakers),
-            latency_samples=tuple(latencies),
-            queue_wait_samples=tuple(queue_waits),
+            latency_samples=_downsample(latencies, sample_capacity),
+            queue_wait_samples=_downsample(queue_waits, sample_capacity),
         )
 
     def as_rows(self) -> list[dict[str, object]]:
@@ -215,16 +260,31 @@ class ServerMetrics:
 
 
 class MetricsAggregator:
-    """Thread-safe accumulator the server and its workers write into."""
+    """Thread-safe accumulator the server and its workers write into.
 
-    def __init__(self) -> None:
+    Counters and running totals are exact forever; the raw samples
+    backing the percentiles live in fixed-size rings
+    (``sample_capacity``, default :data:`SAMPLE_CAPACITY`), so memory
+    and snapshot size stay bounded however long the server runs.
+    Under the cap the rings hold the complete history and every
+    reported number is exact; past it the percentiles reflect the most
+    recent ``sample_capacity`` completions.
+    """
+
+    def __init__(self, sample_capacity: int | None = SAMPLE_CAPACITY) -> None:
+        if sample_capacity is not None and sample_capacity < 1:
+            raise ValueError(
+                f"sample_capacity must be >= 1, got {sample_capacity}"
+            )
         self._lock = threading.Lock()
         self._admitted = 0
+        self._completed = 0
         self._failed = 0
         self._shed: dict[str, int] = {}
         self._tiers: dict[str, int] = {}
-        self._latencies: list[float] = []
-        self._queue_waits: list[float] = []
+        self._latencies: "deque[float]" = deque(maxlen=sample_capacity)
+        self._queue_waits: "deque[float]" = deque(maxlen=sample_capacity)
+        self._queue_wait_total = 0.0
         self._batches = 0
         self._batched_items = 0
         self._stage_wall_s: dict[str, float] = {}
@@ -238,8 +298,10 @@ class MetricsAggregator:
         with self._lock:
             if isinstance(outcome, Completed):
                 self._tiers[outcome.tier] = self._tiers.get(outcome.tier, 0) + 1
+                self._completed += 1
                 self._latencies.append(outcome.latency_s)
                 self._queue_waits.append(outcome.queue_s)
+                self._queue_wait_total += outcome.queue_s
                 if outcome.trace is not None:
                     for stage in outcome.trace.stages:
                         self._stage_wall_s[stage.stage] = (
@@ -279,15 +341,15 @@ class MetricsAggregator:
             return ServerMetrics(
                 queue_depth=queue_depth,
                 admitted=self._admitted,
-                completed=len(self._latencies),
+                completed=self._completed,
                 failed=self._failed,
                 shed=dict(self._shed),
                 tiers=dict(self._tiers),
                 p50_latency_s=nearest_rank(self._latencies, 50),
                 p95_latency_s=nearest_rank(self._latencies, 95),
                 mean_queue_s=(
-                    sum(self._queue_waits) / len(self._queue_waits)
-                    if self._queue_waits
+                    self._queue_wait_total / self._completed
+                    if self._completed
                     else 0.0
                 ),
                 batches=self._batches,

@@ -310,6 +310,15 @@ class ShardRouter:
     def _mark_crashed(self, worker_id: str, missed_deadline: bool) -> None:
         state = self._states[worker_id]
         state.restarts += 1
+        # Fence a zombie: a worker that missed its heartbeat deadline
+        # may still be alive (wedged, not dead).  Kill it now so the
+        # restart can proceed and the old incarnation cannot emit late
+        # events after its work is re-dispatched.
+        handle = self.handles[worker_id]
+        if handle.alive():
+            kill = getattr(handle, "kill", None)
+            if kill is not None:
+                kill()
         cause = (
             "missed heartbeat deadline "
             f"({self.config.heartbeat_timeout_s}s)"
@@ -343,10 +352,13 @@ class ShardRouter:
 
     def _restart(self, worker_id: str) -> None:
         handle = self.handles[worker_id]
-        if hasattr(handle, "restart"):
-            handle.restart()
-        else:
+        if handle.alive() or not hasattr(handle, "restart"):
+            # An unkillable zombie (no kill hook) or a transport with
+            # no in-place restart: abandon the old handle and build a
+            # fresh one — restart() on a live handle would raise.
             self.handles[worker_id] = self._handle_factory(worker_id)
+        else:
+            handle.restart()
         state = self._states[worker_id]
         state.down = False
         state.hb_outstanding = None
@@ -418,7 +430,9 @@ class ShardRouter:
         are returned), new owners warm, inline peers hand off warm
         engines, and only then does the map swap.  Workers leaving the
         cluster are snapshotted into the retired-metrics fold and shut
-        down.
+        down; anything they failed to resolve (a down owner cannot
+        drain) is re-homed to the new owners first, so no request is
+        left mapped to a departed worker.
         """
         moves = self.shard_map.moves(new_map, self.db_ids)
         added = [w for w in new_map.workers if w not in self.handles]
@@ -432,11 +446,15 @@ class ShardRouter:
         for move in moves:
             moved_from.setdefault(move.source, []).append(move.db_id)
             moved_to.setdefault(move.target, []).append(move.db_id)
-        # 1. Old owners finish their queued work.
+        # 1. Old owners finish their queued work (a down/dead owner
+        #    cannot drain; its leftovers are re-homed in step 3).
         sources = sorted(moved_from)
         self._drain_acks.clear()
         for worker_id in sources:
-            self.handles[worker_id].send(Drain(db_ids=tuple(moved_from[worker_id])))
+            if self._drainable(worker_id):
+                self.handles[worker_id].send(
+                    Drain(db_ids=tuple(moved_from[worker_id]))
+                )
         outcomes = self._await_drains(sources)
         # 2. Warm handoff: inline peers adopt the old owner's engines;
         #    process peers pre-build via the Warm command.
@@ -449,9 +467,11 @@ class ShardRouter:
                 )
         for worker_id in sorted(moved_to):
             self.handles[worker_id].send(Warm(db_ids=tuple(moved_to[worker_id])))
-        # 3. Swap; retire departing workers.
+        # 3. Swap; re-home any work a departing worker never resolved
+        #    (it was down, or its Drained ack was missed), then retire.
         self.shard_map = new_map
         for worker_id in removed:
+            self._rehome(worker_id)
             snapshot = self._snapshot_worker(worker_id)
             if snapshot is not None:
                 self._retired_metrics.append(snapshot)
@@ -461,19 +481,81 @@ class ShardRouter:
             self._worker_metrics.pop(worker_id, None)
         return outcomes
 
+    def _rehome(self, worker_id: str) -> None:
+        """Re-route ``worker_id``'s unresolved requests under the
+        current map, so removing it can never strand pending work.
+
+        Each leftover goes to its new owner: dispatched if the owner
+        is up, parked if the owner is down (capacity permitting), and
+        resolved with a typed outcome otherwise — nothing stays mapped
+        to a worker that no longer exists.
+        """
+        leftovers = [
+            request
+            for _, (request, owner) in sorted(self._pending.items())
+            if owner == worker_id
+        ]
+        self._states[worker_id].parked = []
+        for request in leftovers:
+            owner = self.shard_map.owner(request.db_id)
+            state = self._states[owner]
+            if state.lost:
+                self._pending.pop(request.request_id, None)
+                outcome = Failed(
+                    request=request,
+                    error=f"worker {owner!r} exhausted its restart budget",
+                    latency_s=0.0,
+                )
+                self.metrics_aggregator.record(outcome)
+                self._outcome_buffer.append(outcome)
+            elif state.down:
+                if len(state.parked) >= self.config.park_capacity:
+                    self._pending.pop(request.request_id, None)
+                    outcome = Overloaded(
+                        request=request,
+                        reason=f"worker {owner!r} down and park buffer "
+                        f"full ({self.config.park_capacity})",
+                    )
+                    self.metrics_aggregator.record(outcome)
+                    self._outcome_buffer.append(outcome)
+                else:
+                    state.parked.append(request)
+                    self._pending[request.request_id] = (request, owner)
+            else:
+                self._dispatch(owner, request)
+
+    def _drainable(self, worker_id: str) -> bool:
+        """Can this worker receive a Drain and be expected to ack it?"""
+        state = self._states[worker_id]
+        return (
+            not state.down
+            and not state.lost
+            and self.handles[worker_id].alive()
+        )
+
     def _await_drains(self, sources: list[str]) -> list:
-        """Pump/poll until every source acked its drain; returns outcomes."""
+        """Pump/poll until every *live* source acked its drain.
+
+        A source that is down, lost, or dies mid-drain stops being
+        awaited — a dead worker never acks, and waiting for one would
+        burn the whole control timeout.  Its unresolved requests stay
+        pending for supervision (or the caller) to recover.
+        """
         outcomes: list = []
         deadline = self.clock.now() + self.config.control_timeout_s
         while True:
             self.pump()
             outcomes.extend(self.poll())
-            if all(w in self._drain_acks for w in sources):
+            waiting = [
+                w
+                for w in sources
+                if w not in self._drain_acks and self._drainable(w)
+            ]
+            if not waiting:
                 return outcomes
             if self.clock.now() >= deadline:
-                missing = [w for w in sources if w not in self._drain_acks]
                 raise ServingError(
-                    f"drain timed out waiting for workers {missing}"
+                    f"drain timed out waiting for workers {waiting}"
                 )
             # Process workers need real time to answer; inline workers
             # acked synchronously above, so this never runs on FakeClock
@@ -481,15 +563,18 @@ class ShardRouter:
             self.clock.sleep(0.002)
 
     def drain(self) -> list:
-        """Finish all queued work everywhere; returns the outcomes."""
+        """Finish all queued work on every live worker; returns outcomes.
+
+        Down/lost/dead workers are skipped — their requests stay
+        pending (or parked) and the caller decides whether to keep
+        ticking until supervision restarts them or to shut down.
+        """
         workers = sorted(self.handles)
         self._drain_acks.clear()
         for worker_id in workers:
-            self.handles[worker_id].send(Drain())
-        outcomes = self._await_drains(workers)
-        # Anything re-parked for a down worker is still pending; the
-        # caller decides whether to keep ticking or shut down.
-        return outcomes
+            if self._drainable(worker_id):
+                self.handles[worker_id].send(Drain())
+        return self._await_drains(workers)
 
     def shutdown(self) -> None:
         """Snapshot, then close every worker (clean Shutdown, bounded)."""

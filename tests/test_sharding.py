@@ -268,9 +268,12 @@ class TestSupervision:
             router.tick()  # restart fires, worker healthy again
         assert delays == [1.0, 2.0, 4.0]
 
-    def test_missed_heartbeats_mark_a_zombie_crashed(self):
+    def test_missed_heartbeats_fence_and_restart_a_zombie(self):
         # A worker whose process is alive but wedged: it answers
         # nothing, so the heartbeat deadline — not alive() — fells it.
+        # The router must *kill* the still-alive process before the
+        # backoff restart, or restart() refuses a live worker and the
+        # supervision loop crashes.
         clock = FakeClock()
 
         class ZombieHandle:
@@ -279,6 +282,8 @@ class TestSupervision:
 
             def __init__(self):
                 self.commands = []
+                self.killed = False
+                self.restarted = False
 
             def send(self, command):
                 self.commands.append(command)
@@ -290,10 +295,15 @@ class TestSupervision:
                 pass
 
             def alive(self):
-                return True
+                return not self.killed
+
+            def kill(self):
+                self.killed = True
 
             def restart(self):
-                raise AssertionError("test never reaches restart")
+                assert self.killed, "restart() on a live worker raises"
+                self.restarted = True
+                self.killed = False
 
             def close(self):
                 pass
@@ -304,7 +314,9 @@ class TestSupervision:
             lambda worker_id: zombie,
             DB_IDS,
             config=ShardingConfig(
-                heartbeat_interval_s=1.0, heartbeat_timeout_s=2.0
+                heartbeat_interval_s=1.0,
+                heartbeat_timeout_s=2.0,
+                restart_backoff_s=0.5,
             ),
             clock=clock,
         )
@@ -318,6 +330,66 @@ class TestSupervision:
         router.tick()  # 2.1s unacked >= 2.0s timeout
         assert router._states["w0"].down
         assert "heartbeat" in router.failures[0]["error"]
+        assert zombie.killed  # fenced at crash time, not left running
+        clock.advance(0.5)
+        router.tick()  # backoff expired: restart must not raise
+        assert zombie.restarted
+        assert not router._states["w0"].down
+        assert any(f["kind"] == "restart" for f in router.failures)
+
+    def test_unkillable_zombie_is_replaced_via_the_factory(self):
+        # A handle with no kill hook that keeps claiming to be alive:
+        # the router cannot fence it, so the restart falls back to
+        # building a fresh handle instead of raising.
+        clock = FakeClock()
+        built = []
+
+        class StubbornZombie:
+            transport = "inline"
+
+            def __init__(self, worker_id):
+                self.worker_id = worker_id
+                built.append(self)
+
+            def send(self, command):
+                pass
+
+            def poll(self):
+                return []
+
+            def pump(self):
+                pass
+
+            def alive(self):
+                return True
+
+            def restart(self):
+                raise AssertionError("a live handle must never be restart()ed")
+
+            def close(self):
+                pass
+
+        router = ShardRouter(
+            ShardMap(("w0",)),
+            StubbornZombie,
+            DB_IDS,
+            config=ShardingConfig(
+                heartbeat_interval_s=1.0,
+                heartbeat_timeout_s=2.0,
+                restart_backoff_s=0.5,
+            ),
+            clock=clock,
+        )
+        clock.advance(1.0)
+        router.tick()  # probe
+        clock.advance(2.0)
+        router.tick()  # deadline: marked crashed, cannot be killed
+        assert router._states["w0"].down
+        clock.advance(0.5)
+        router.tick()  # restart: factory replacement, no ServingError
+        assert len(built) == 2
+        assert router.handles["w0"] is built[-1]
+        assert not router._states["w0"].down
 
     def test_heartbeat_ack_keeps_the_worker_alive(self):
         clock = FakeClock()
@@ -438,6 +510,60 @@ class TestRebalance:
         assert len(outcomes) == 10
         assert not router.has_work()
 
+    def test_drain_skips_a_crashed_worker_and_supervision_recovers(self):
+        # A dead worker never acks Drain; drain() must not wait 30
+        # real seconds for it (and then raise) — it skips the corpse,
+        # the healthy workers finish, and the tick loop restarts the
+        # victim and completes its requests afterwards.
+        clock = FakeClock()
+        router, handles = _cluster(
+            clock, sharding=ShardingConfig(restart_backoff_s=0.5)
+        )
+        for index in range(8):
+            assert router.submit(_request(index, db_id=DB_IDS[index])) is None
+        victim = router.shard_map.owner(DB_IDS[0])
+        handles[victim].kill()  # crashed, not yet classified by tick()
+        outcomes = router.drain()  # must neither raise nor stall
+        assert outcomes  # the healthy shards all finished
+        assert router.has_work()  # the victim's requests are still owed
+        # the CLI recovery loop: tick until the cluster resolves it all
+        for _ in range(8):
+            if not router.has_work():
+                break
+            router.tick()
+            router.pump()
+            outcomes += router.poll()
+            clock.advance(0.25)
+        assert {o.request.request_id for o in outcomes} == {
+            f"r{index}" for index in range(8)
+        }
+        assert all(isinstance(o, Completed) for o in outcomes)
+        assert not router.has_work()
+
+    def test_rebalance_rehomes_a_down_workers_pending_work(self):
+        # Removing a worker that is down (it cannot drain) must not
+        # strand its pending/parked requests on a worker id that no
+        # longer exists — they re-route to the new owners and resolve.
+        clock = FakeClock()
+        router, handles = _cluster(
+            clock, sharding=ShardingConfig(restart_backoff_s=60.0)
+        )
+        victim_db = DB_IDS[0]
+        victim = router.shard_map.owner(victim_db)
+        assert router.submit(_request(0, db_id=victim_db)) is None  # in flight
+        handles[victim].kill()
+        router.tick()  # classified down; backoff far in the future
+        assert router.submit(_request(1, db_id=victim_db)) is None  # parks
+        outcomes = router.rebalance(router.shard_map.remove_worker(victim))
+        assert victim not in router.handles
+        router.pump()
+        outcomes += router.poll()
+        assert {o.request.request_id for o in outcomes} >= {"r0", "r1"}
+        resolved = {o.request.request_id: o for o in outcomes}
+        assert isinstance(resolved["r0"], Completed)
+        assert isinstance(resolved["r1"], Completed)
+        assert not router.has_work()
+
 
 # -- merged metrics -----------------------------------------------------------
 
@@ -496,6 +622,43 @@ class TestMergedMetrics:
         empty = ServerMetrics.merge()
         assert empty.completed == 0
         assert empty.p95_latency_s == 0.0
+
+    def test_sample_rings_are_bounded_but_counters_stay_exact(self):
+        # Long-running servers must not accumulate (and pickle across
+        # the process pipe) one sample per request forever: the rings
+        # cap, while completed/mean stay exact running totals.
+        aggregator = MetricsAggregator(sample_capacity=16)
+        for index in range(100):
+            aggregator.record(
+                Completed(
+                    request=_request(index),
+                    sql="SELECT 1",
+                    tier="full",
+                    latency_s=0.01 * (index + 1),
+                    queue_s=0.005,
+                )
+            )
+        snapshot = aggregator.snapshot()
+        assert snapshot.completed == 100  # exact despite the cap
+        assert len(snapshot.latency_samples) == 16
+        assert len(snapshot.queue_wait_samples) == 16
+        assert snapshot.mean_queue_s == pytest.approx(0.005)
+        # the ring keeps the most recent completions
+        assert min(snapshot.latency_samples) == pytest.approx(0.85)
+
+    def test_merge_caps_carried_samples_and_keeps_means_exact(self):
+        fast = self._snapshot_with_latencies([0.01] * 30, queue_s=0.1)
+        slow = self._snapshot_with_latencies([1.0] * 10, queue_s=0.5)
+        merged = ServerMetrics.merge(fast, slow, sample_capacity=8)
+        assert merged.completed == 40
+        assert len(merged.latency_samples) == 8
+        # weighted by completed counts, not by pooled (capped) samples
+        assert merged.mean_queue_s == pytest.approx(
+            (30 * 0.1 + 10 * 0.5) / 40
+        )
+        # the sorted-stride subsample spans the pooled distribution
+        assert min(merged.latency_samples) == 0.01
+        assert max(merged.latency_samples) == 1.0
 
     def test_cluster_metrics_fold_router_sheds_with_worker_counters(self):
         clock = FakeClock()
